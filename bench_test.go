@@ -1,0 +1,152 @@
+package psi_test
+
+// One benchmark per table and figure of the paper: each regenerates the
+// artifact end to end (datasets, indexes, workload, measurements) at Tiny
+// scale through the experiment harness. Set -timeout generously; macro
+// benchmarks take seconds per iteration by design.
+//
+// Micro-benchmarks at the bottom measure the framework's moving parts:
+// rewriting cost (§8 reports tens to hundreds of µs), matcher throughput,
+// index construction, and the racing overhead ablation from DESIGN.md §7.
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	psi "github.com/psi-graph/psi"
+	"github.com/psi-graph/psi/internal/core"
+	"github.com/psi-graph/psi/internal/gen"
+	"github.com/psi-graph/psi/internal/harness"
+	"github.com/psi-graph/psi/internal/rewrite"
+)
+
+// benchExperiment regenerates one paper artifact per iteration.
+func benchExperiment(b *testing.B, id string) {
+	cfg := harness.DefaultConfig(gen.Tiny)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run(cfg, io.Discard, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTable2DatasetStats(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkFig1FTVStragglers(b *testing.B)    { benchExperiment(b, "fig1") }
+func BenchmarkFig2NFVStragglers(b *testing.B)    { benchExperiment(b, "fig2") }
+func BenchmarkTable3YeastBreakdown(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4HumanBreakdown(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkFig3MaxMinFTV(b *testing.B)        { benchExperiment(b, "fig3") }
+func BenchmarkFig4MaxMinNFV(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkFig5RewritingExample(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig6RewritingSweep(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7SpeedupFTV(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8SpeedupNFV(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig9AlgPortfolio(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10PsiFTVQLA(b *testing.B)       { benchExperiment(b, "fig10") }
+func BenchmarkFig11PsiFTVWLA(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12GrapesVsPsi(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFig13PsiNFVRewr(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkFig14PsiNFVAlgQLA(b *testing.B)    { benchExperiment(b, "fig14") }
+func BenchmarkFig15PsiNFVAlgWLA(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkTable10Killed(b *testing.B)        { benchExperiment(b, "table10") }
+func BenchmarkAblationOverhead(b *testing.B)     { benchExperiment(b, "ablation1") }
+func BenchmarkAblationPredictor(b *testing.B)    { benchExperiment(b, "ablation2") }
+
+// --- micro-benchmarks -----------------------------------------------------
+
+// BenchmarkRewritingCost measures producing one ILF+DND rewriting of a
+// 24-edge query — the overhead §8 of the paper reports as "a few tens (for
+// smaller query sizes) to a few hundreds ... of µsecs".
+func BenchmarkRewritingCost(b *testing.B) {
+	g := psi.GenerateYeastLike(psi.Tiny, 1)
+	q := psi.ExtractQuery(g, 24, 42)
+	freq := rewrite.FrequenciesOf(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rewrite.Apply(q, freq, rewrite.ILFDND, 0)
+	}
+}
+
+// benchMatcher measures matching a planted 16-edge query (limit 1000).
+func benchMatcher(b *testing.B, algo psi.Algorithm) {
+	g := psi.GenerateYeastLike(psi.Tiny, 1)
+	q := psi.ExtractQuery(g, 16, 7)
+	m := psi.MustNewMatcher(algo, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(context.Background(), q, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchVF2(b *testing.B)     { benchMatcher(b, psi.VF2) }
+func BenchmarkMatchQuickSI(b *testing.B) { benchMatcher(b, psi.QuickSI) }
+func BenchmarkMatchGraphQL(b *testing.B) { benchMatcher(b, psi.GraphQL) }
+func BenchmarkMatchSPath(b *testing.B)   { benchMatcher(b, psi.SPath) }
+
+// BenchmarkGrapesIndexBuild measures FTV index construction over the
+// Tiny PPI dataset with 4 workers.
+func BenchmarkGrapesIndexBuild(b *testing.B) {
+	ds := psi.GeneratePPI(psi.Tiny, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		psi.NewGrapes(ds, 4)
+	}
+}
+
+// BenchmarkGGSXIndexBuild measures the suffix-trie construction.
+func BenchmarkGGSXIndexBuild(b *testing.B) {
+	ds := psi.GeneratePPI(psi.Tiny, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		psi.NewGGSX(ds)
+	}
+}
+
+// BenchmarkGrapesFilter measures the filtering stage alone.
+func BenchmarkGrapesFilter(b *testing.B) {
+	ds := psi.GeneratePPI(psi.Tiny, 1)
+	x := psi.NewGrapes(ds, 4)
+	q := psi.ExtractQuery(ds[0], 16, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Filter(q)
+	}
+}
+
+// BenchmarkRaceOverhead is the ablation from DESIGN.md §7: racing k
+// identical VF2 attempts against running one, quantifying goroutine
+// instantiation + synchronization overhead (§8: "the instantiation and
+// synchronization of many threads come with a non-trivial overhead").
+func BenchmarkRaceOverhead(b *testing.B) {
+	g := psi.GenerateYeastLike(psi.Tiny, 1)
+	q := psi.ExtractQuery(g, 8, 3)
+	racer := core.NewRacer(g)
+	for _, k := range []int{1, 2, 4, 8} {
+		attempts := make([]core.Attempt, k)
+		for i := range attempts {
+			attempts[i] = core.Attempt{Matcher: psi.MustNewMatcher(psi.VF2, g), Rewriting: rewrite.Orig}
+		}
+		b.Run(byThreads(k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := racer.Race(context.Background(), q, 1, attempts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func byThreads(k int) string {
+	return map[int]string{1: "threads=1", 2: "threads=2", 4: "threads=4", 8: "threads=8"}[k]
+}

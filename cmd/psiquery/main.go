@@ -1,0 +1,161 @@
+// Command psiquery runs subgraph queries from files, with a single
+// algorithm or a Ψ-framework race.
+//
+// NFV (single stored graph): match every query, report embeddings found,
+// winner and time per query.
+//
+//	psiquery -data yeast.txt -queries q.txt -algos GQL,SPA -rewritings Or,DND
+//
+// FTV (multi-graph dataset): filter-then-verify decision with Grapes or
+// GGSX, optionally racing rewritings in the verification stage.
+//
+//	psiquery -data ppi.txt -queries q.txt -index grapes -workers 4 -rewritings ILF,IND,DND
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/psi-graph/psi/internal/core"
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/ggsx"
+	"github.com/psi-graph/psi/internal/gql"
+	"github.com/psi-graph/psi/internal/grapes"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+	"github.com/psi-graph/psi/internal/quicksi"
+	"github.com/psi-graph/psi/internal/rewrite"
+	"github.com/psi-graph/psi/internal/spath"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+func main() {
+	var (
+		dataFlag    = flag.String("data", "", "stored graph / dataset file (required)")
+		queriesFlag = flag.String("queries", "", "query file (required)")
+		algosFlag   = flag.String("algos", "GQL", "comma-separated NFV algorithms: GQL,SPA,QSI,VF2")
+		rewrFlag    = flag.String("rewritings", "Orig", "comma-separated rewritings: Orig,ILF,IND,DND,ILF+IND,ILF+DND")
+		indexFlag   = flag.String("index", "", "FTV index for multi-graph datasets: grapes|ggsx")
+		workersFlag = flag.Int("workers", 1, "Grapes worker count")
+		limitFlag   = flag.Int("limit", 1000, "max embeddings per query (NFV)")
+		capFlag     = flag.Duration("timeout", 10*time.Minute, "per-query kill cap")
+	)
+	flag.Parse()
+	if *dataFlag == "" || *queriesFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ds, err := readFile(*dataFlag)
+	if err != nil {
+		fatal(err)
+	}
+	queries, err := readFile(*queriesFlag)
+	if err != nil {
+		fatal(err)
+	}
+	kinds, err := parseRewritings(*rewrFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if len(ds) == 0 {
+		fatal(fmt.Errorf("dataset %s is empty", *dataFlag))
+	}
+	if len(ds) > 1 || *indexFlag != "" {
+		runFTV(ds, queries, *indexFlag, *workersFlag, kinds, *capFlag)
+		return
+	}
+	runNFV(ds[0], queries, strings.Split(*algosFlag, ","), kinds, *limitFlag, *capFlag)
+}
+
+func runNFV(g *graph.Graph, queries []*graph.Graph, algoNames []string, kinds []rewrite.Kind, limit int, cap time.Duration) {
+	var matchers []match.Matcher
+	for _, name := range algoNames {
+		switch strings.TrimSpace(name) {
+		case "GQL":
+			matchers = append(matchers, gql.New(g))
+		case "SPA":
+			matchers = append(matchers, spath.New(g))
+		case "QSI":
+			matchers = append(matchers, quicksi.New(g))
+		case "VF2":
+			matchers = append(matchers, vf2.New(g))
+		default:
+			fatal(fmt.Errorf("unknown algorithm %q", name))
+		}
+	}
+	racer := core.NewRacer(g)
+	attempts := core.Portfolio(matchers, kinds)
+	for _, q := range queries {
+		ctx, cancel := context.WithTimeout(context.Background(), cap)
+		start := time.Now()
+		res, err := racer.Race(ctx, q, limit, attempts)
+		elapsed := time.Since(start)
+		cancel()
+		if err != nil {
+			fmt.Printf("%-12s KILLED after %v (%v)\n", q.Name(), elapsed.Round(time.Microsecond), err)
+			continue
+		}
+		fmt.Printf("%-12s %4d embedding(s)  winner=%-12s  %v\n",
+			q.Name(), len(res.Embeddings), res.Winner.Label(), elapsed.Round(time.Microsecond))
+	}
+}
+
+func runFTV(ds []*graph.Graph, queries []*graph.Graph, index string, workers int, kinds []rewrite.Kind, cap time.Duration) {
+	var x ftv.Index
+	switch index {
+	case "", "grapes":
+		x = grapes.Build(ds, grapes.Options{Workers: workers})
+	case "ggsx":
+		x = ggsx.Build(ds, ggsx.Options{})
+	default:
+		fatal(fmt.Errorf("unknown index %q", index))
+	}
+	racer := core.NewFTVRacer(x, kinds)
+	for _, q := range queries {
+		ctx, cancel := context.WithTimeout(context.Background(), cap)
+		start := time.Now()
+		answer, err := racer.Answer(ctx, q)
+		elapsed := time.Since(start)
+		cancel()
+		if err != nil {
+			fmt.Printf("%-12s KILLED after %v (%v)\n", q.Name(), elapsed.Round(time.Microsecond), err)
+			continue
+		}
+		fmt.Printf("%-12s contained in %d/%d graph(s) %v  %v\n",
+			q.Name(), len(answer), len(ds), answer, elapsed.Round(time.Microsecond))
+	}
+}
+
+func parseRewritings(s string) ([]rewrite.Kind, error) {
+	var kinds []rewrite.Kind
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "Or" { // accept the paper's figure shorthand
+			name = "Orig"
+		}
+		k, err := rewrite.ParseKind(name)
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+func readFile(path string) ([]*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadDataset(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "psiquery:", err)
+	os.Exit(1)
+}

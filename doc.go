@@ -1,0 +1,35 @@
+// Package psi is a from-scratch Go implementation of the Ψ-framework from
+// "Subgraph Querying with Parallel Use of Query Rewritings and Alternative
+// Algorithms" (Katsarou, Ntarmos, Triantafillou — EDBT 2017), together with
+// every subsystem the paper builds on: the VF2, QuickSI, GraphQL and sPath
+// subgraph-isomorphism algorithms, the Grapes and GGSX filter-then-verify
+// indexes, the paper's five query rewritings (ILF, IND, DND, ILF+IND,
+// ILF+DND), dataset generators standing in for the paper's datasets, and
+// the straggler-aware measurement methodology (WLA/QLA, max/min, speedup*).
+//
+// # The idea
+//
+// Subgraph isomorphism solvers suffer from straggler queries: inputs whose
+// running time is orders of magnitude above the median. Two cheap levers
+// move a straggler back into the fast regime: renumbering the query's
+// vertices (an isomorphic rewriting that steers the solver's tie-breaking
+// heuristics) and switching algorithms (stragglers are algorithm-specific).
+// The Ψ-framework exploits both at once — it races several goroutines, each
+// matching a different (algorithm, rewriting) pair, takes the first answer,
+// and cancels the rest.
+//
+// # Quick start
+//
+//	g := psi.MustNewGraph("store",
+//		[]psi.Label{0, 1, 0, 2},
+//		[][2]int{{0, 1}, {1, 2}, {2, 3}})
+//	q := psi.MustNewGraph("query", []psi.Label{0, 1}, [][2]int{{0, 1}})
+//
+//	m := psi.NewPortfolioMatcher(g,
+//		[]psi.Algorithm{psi.GraphQL, psi.SPath},
+//		[]psi.Rewriting{psi.Orig, psi.DND})
+//	embs, err := m.Match(context.Background(), q, 1000)
+//
+// See examples/ for runnable programs and cmd/psibench for the experiment
+// harness that regenerates every table and figure of the paper.
+package psi

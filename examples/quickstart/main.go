@@ -1,0 +1,62 @@
+// Quickstart: build a stored graph and a query in code, then answer the
+// query three ways — with a single algorithm, with a Ψ-framework portfolio
+// racing two algorithms and two rewritings, and with an explicit race that
+// reports which attempt won.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	psi "github.com/psi-graph/psi"
+)
+
+func main() {
+	// A small "molecule": two labeled rings sharing a bridge.
+	//
+	//	  1(N)---2(C)            labels: C=0, N=1, O=2
+	//	 /         \
+	//	0(C)        3(C)---4(O)
+	//	 \         /
+	//	  6(O)---5(N)
+	g := psi.MustNewGraph("molecule",
+		[]psi.Label{0, 1, 0, 0, 2, 1, 2},
+		[][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {3, 5}, {5, 6}, {6, 0}})
+
+	// Query: a C-N-C path.
+	q := psi.MustNewGraph("c-n-c", []psi.Label{0, 1, 0}, [][2]int{{0, 1}, {1, 2}})
+
+	// 1. One algorithm.
+	gql := psi.MustNewMatcher(psi.GraphQL, g)
+	embs, err := gql.Match(context.Background(), q, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GraphQL alone: %d embeddings\n", len(embs))
+	for _, e := range embs {
+		fmt.Printf("  query vertices -> graph vertices: %v\n", e)
+	}
+
+	// 2. A Ψ-framework portfolio as a drop-in Matcher.
+	m := psi.NewPortfolioMatcher(g,
+		[]psi.Algorithm{psi.GraphQL, psi.SPath},
+		[]psi.Rewriting{psi.Orig, psi.DND})
+	embs2, err := m.Match(context.Background(), q, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d embeddings (same answer, first finisher wins)\n", m.Name(), len(embs2))
+
+	// 3. An explicit race, to see who won.
+	attempts := psi.Portfolio(
+		[]psi.Matcher{psi.MustNewMatcher(psi.VF2, g), psi.MustNewMatcher(psi.QuickSI, g)},
+		[]psi.Rewriting{psi.Orig, psi.ILF},
+	)
+	res, err := psi.Race(context.Background(), g, q, 1000, attempts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explicit race over %d attempts: winner=%s elapsed=%v contained=%v\n",
+		res.Attempts, res.Winner.Label(), res.Elapsed, res.Contained())
+}

@@ -1,0 +1,84 @@
+// Stragglers: a miniature of the paper's §5 study. Takes queries against a
+// yeast-like stored graph, runs six random isomorphic instances of each
+// (same structure and labels, permuted node IDs), and shows how wildly the
+// running time varies — then shows which structured rewriting would have
+// been the right choice for each query.
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	psi "github.com/psi-graph/psi"
+)
+
+const (
+	queryEdges   = 16
+	numQueries   = 8
+	isoInstances = 6
+	limit        = 1000
+	cap          = 150 * time.Millisecond
+)
+
+func main() {
+	g := psi.GenerateYeastLike(psi.Tiny, 11)
+	st := psi.ComputeStats(g)
+	fmt.Printf("stored graph: %d nodes, %d edges, %d labels\n\n", st.Nodes, st.Edges, st.Labels)
+
+	m := psi.MustNewMatcher(psi.QuickSI, g) // the most ID-sensitive algorithm
+
+	fmt.Println("running 6 random isomorphic instances of each query (QuickSI):")
+	fmt.Printf("%-8s %10s %10s %9s\n", "query", "min", "max", "max/min")
+	for i := 0; i < numQueries; i++ {
+		q := psi.ExtractQuery(g, queryEdges, int64(500+i))
+		min, max := time.Duration(1<<62), time.Duration(0)
+		for j := 0; j < isoInstances; j++ {
+			// A random rewriting is just a random node-ID permutation.
+			inst, _ := psi.ApplyRandomRewriting(q, int64(100*i+j))
+			t := timeMatch(m, inst)
+			if t < min {
+				min = t
+			}
+			if t > max {
+				max = t
+			}
+		}
+		fmt.Printf("query%-3d %10s %10s %8.1fx\n", i,
+			min.Round(time.Microsecond), fmtT(max), float64(max)/float64(min))
+	}
+
+	fmt.Println("\nper-query best structured rewriting (vs original):")
+	fmt.Printf("%-8s %10s %10s  %s\n", "query", "orig", "best", "rewriting")
+	for i := 0; i < numQueries; i++ {
+		q := psi.ExtractQuery(g, queryEdges, int64(500+i))
+		orig := timeMatch(m, q)
+		best, bestKind := orig, "Orig"
+		for _, k := range psi.StructuredRewritings() {
+			inst, _ := psi.ApplyRewriting(q, g, k)
+			if t := timeMatch(m, inst); t < best {
+				best, bestKind = t, k.String()
+			}
+		}
+		fmt.Printf("query%-3d %10s %10s  %s\n", i, fmtT(orig), fmtT(best), bestKind)
+	}
+	fmt.Println("\ndifferent queries prefer different rewritings — exactly why the")
+	fmt.Println("Ψ-framework races several of them instead of picking one up front.")
+}
+
+func timeMatch(m psi.Matcher, q *psi.Graph) time.Duration {
+	ctx, cancel := context.WithTimeout(context.Background(), cap)
+	defer cancel()
+	start := time.Now()
+	if _, err := m.Match(ctx, q, limit); err != nil {
+		return cap
+	}
+	return time.Since(start)
+}
+
+func fmtT(d time.Duration) string {
+	if d >= cap {
+		return "KILLED"
+	}
+	return d.Round(time.Microsecond).String()
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/rewrite"
+)
+
+// FTVRacer applies the Ψ-framework to a filter-then-verify method (§8: "In
+// the FTV methods we leave intact the index construction and the filtering
+// stages... In the verification stage, for every graph in the candidate
+// set, we instantiate a number of threads equal to the number of the
+// isomorphic-query rewritings we utilize").
+type FTVRacer struct {
+	// Index is the wrapped FTV method (Grapes or GGSX).
+	Index ftv.Index
+	// Rewritings are the raced isomorphic instances per candidate graph;
+	// include rewrite.Orig to race the original query too (the paper's
+	// Ψ(Or/...) variants).
+	Rewritings []rewrite.Kind
+	// Frequencies are dataset-wide label frequencies for ILF rewritings;
+	// NewFTVRacer fills them in.
+	Frequencies rewrite.Frequencies
+}
+
+// NewFTVRacer wraps an FTV index with raced rewritings.
+func NewFTVRacer(x ftv.Index, kinds []rewrite.Kind) *FTVRacer {
+	return &FTVRacer{
+		Index:       x,
+		Rewritings:  kinds,
+		Frequencies: rewrite.FrequenciesOfDataset(x.Dataset()),
+	}
+}
+
+// Name identifies the configuration, e.g. "Ψ(Grapes/1: ILF/IND/DND)".
+func (f *FTVRacer) Name() string {
+	s := "Ψ(" + f.Index.Name() + ":"
+	for i, k := range f.Rewritings {
+		if i > 0 {
+			s += "/"
+		} else {
+			s += " "
+		}
+		s += k.String()
+	}
+	return s + ")"
+}
+
+// FTVResult reports one raced verification.
+type FTVResult struct {
+	Contained bool
+	// Winner is the rewriting whose thread finished first.
+	Winner rewrite.Kind
+	// Elapsed is the wall-clock verification time.
+	Elapsed time.Duration
+}
+
+// Verify races one verification per rewriting for a single candidate graph
+// and returns the first finisher's answer. Because every rewriting yields a
+// query isomorphic to the original, all threads compute the same boolean.
+func (f *FTVRacer) Verify(ctx context.Context, q *graph.Graph, graphID int) (FTVResult, error) {
+	if len(f.Rewritings) == 0 {
+		return FTVResult{}, errors.New("psi: FTVRacer needs at least one rewriting")
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		kind      rewrite.Kind
+		contained bool
+		err       error
+	}
+	ch := make(chan outcome, len(f.Rewritings))
+	start := time.Now()
+	for _, k := range f.Rewritings {
+		go func(k rewrite.Kind) {
+			q2, _ := rewrite.Apply(q, f.Frequencies, k, 0)
+			ok, err := f.Index.Verify(raceCtx, q2, graphID)
+			ch <- outcome{kind: k, contained: ok, err: err}
+		}(k)
+	}
+	var errs []error
+	for n := 0; n < len(f.Rewritings); n++ {
+		o := <-ch
+		if o.err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", o.kind, o.err))
+			continue
+		}
+		cancel()
+		return FTVResult{Contained: o.contained, Winner: o.kind, Elapsed: time.Since(start)}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return FTVResult{}, err
+	}
+	return FTVResult{}, errors.Join(errs...)
+}
+
+// Answer runs the full decision pipeline with raced verification: filtering
+// happens once on the original query (isomorphic rewritings produce the
+// same filter outcome), then each candidate is verified by a race.
+func (f *FTVRacer) Answer(ctx context.Context, q *graph.Graph) ([]int, error) {
+	var out []int
+	for _, id := range f.Index.Filter(q) {
+		res, err := f.Verify(ctx, q, id)
+		if err != nil {
+			return nil, err
+		}
+		if res.Contained {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/ggsx"
+	"github.com/psi-graph/psi/internal/grapes"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/rewrite"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+func buildDataset(r *rand.Rand, numGraphs, n, labels int) []*graph.Graph {
+	ds := make([]*graph.Graph, numGraphs)
+	for i := range ds {
+		ds[i] = randomStored(r, n, n/2, labels)
+	}
+	return ds
+}
+
+func TestFTVRacerName(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ds := buildDataset(r, 2, 10, 2)
+	x := grapes.Build(ds, grapes.Options{})
+	f := NewFTVRacer(x, []rewrite.Kind{rewrite.ILF, rewrite.ILFIND})
+	want := "Ψ(Grapes/1: ILF/ILF+IND)"
+	if f.Name() != want {
+		t.Errorf("Name = %q, want %q", f.Name(), want)
+	}
+}
+
+func TestFTVRacerNeedsRewritings(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ds := buildDataset(r, 1, 8, 2)
+	f := NewFTVRacer(grapes.Build(ds, grapes.Options{}), nil)
+	_, err := f.Verify(context.Background(), ds[0], 0)
+	if err == nil {
+		t.Error("expected error for empty rewriting list")
+	}
+}
+
+func TestFTVRacerAnswerMatchesPlainPipeline(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ds := buildDataset(r, 6, 14, 3)
+	for _, idx := range []ftv.Index{
+		grapes.Build(ds, grapes.Options{MaxPathLen: 3}),
+		ggsx.Build(ds, ggsx.Options{MaxPathLen: 3}),
+	} {
+		f := NewFTVRacer(idx, []rewrite.Kind{rewrite.Orig, rewrite.ILF, rewrite.IND, rewrite.DND})
+		for trial := 0; trial < 8; trial++ {
+			q := extractQuery(r, ds[r.Intn(len(ds))], 2+r.Intn(4))
+			want, err := ftv.Answer(context.Background(), idx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := f.Answer(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s trial %d: raced answer %v, plain answer %v",
+					idx.Name(), trial, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s trial %d: raced answer %v, plain answer %v",
+						idx.Name(), trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFTVRacerAnswerMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ds := buildDataset(r, 5, 12, 3)
+	x := grapes.Build(ds, grapes.Options{})
+	f := NewFTVRacer(x, append([]rewrite.Kind{rewrite.Orig}, rewrite.Structured...))
+	for trial := 0; trial < 6; trial++ {
+		q := extractQuery(r, ds[r.Intn(len(ds))], 3)
+		got, err := f.Answer(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int
+		for id, g := range ds {
+			embs, err := vf2.Match(context.Background(), q, g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(embs) > 0 {
+				want = append(want, id)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestFTVRacerWinnerIsAConfiguredRewriting(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ds := buildDataset(r, 3, 12, 2)
+	kinds := []rewrite.Kind{rewrite.ILF, rewrite.DND}
+	f := NewFTVRacer(grapes.Build(ds, grapes.Options{}), kinds)
+	q := extractQuery(r, ds[0], 3)
+	ids := f.Index.Filter(q)
+	if len(ids) == 0 {
+		t.Skip("filter pruned everything (unlucky seed)")
+	}
+	res, err := f.Verify(context.Background(), q, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != rewrite.ILF && res.Winner != rewrite.DND {
+		t.Errorf("winner %v not among configured rewritings", res.Winner)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed should be positive")
+	}
+	if !strings.Contains(f.Name(), "Grapes") {
+		t.Error("name should mention the wrapped index")
+	}
+}

@@ -1,0 +1,198 @@
+// Package core implements the Ψ-framework (Parallel Subgraph Isomorphism
+// framework), the paper's primary contribution (§8). Instead of inventing a
+// new sub-iso algorithm, the framework launches several attempts at the same
+// query in parallel — each attempt pairing an existing algorithm with an
+// isomorphic query rewriting — and adopts the answer of the first attempt to
+// finish, cancelling the rest. Stragglers for one (algorithm, rewriting)
+// combination are typically fast for another, so the race removes the heavy
+// right tail of query-time distributions.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+	"github.com/psi-graph/psi/internal/rewrite"
+)
+
+// Attempt is one contender in a race: an algorithm paired with a query
+// rewriting. Seed is used only by rewrite.Random.
+type Attempt struct {
+	Matcher   match.Matcher
+	Rewriting rewrite.Kind
+	Seed      int64
+}
+
+// Label names the attempt as in the paper's figures, e.g. "GQL-ILF".
+func (a Attempt) Label() string {
+	return fmt.Sprintf("%s-%s", a.Matcher.Name(), a.Rewriting)
+}
+
+// Result is the outcome of a race.
+type Result struct {
+	// Embeddings are the winner's embeddings, already mapped back to the
+	// original query's vertex numbering.
+	Embeddings []match.Embedding
+	// Winner is the attempt that finished first.
+	Winner Attempt
+	// WinnerIndex is the winner's position in the attempts slice.
+	WinnerIndex int
+	// Elapsed is the wall-clock time from race start to the win.
+	Elapsed time.Duration
+	// Attempts is the number of contenders raced.
+	Attempts int
+}
+
+// Contained reports whether the query was found at all.
+func (r Result) Contained() bool { return len(r.Embeddings) > 0 }
+
+// Racer runs Ψ-framework races. The zero value works for rewritings that
+// need no label statistics (Orig, IND, DND, Random); construct with NewRacer
+// to enable ILF-style rewritings.
+type Racer struct {
+	// Frequencies are the stored-graph (or dataset-wide) label
+	// frequencies consulted by ILF, ILF+IND and ILF+DND.
+	Frequencies rewrite.Frequencies
+	// Validate re-checks every winner embedding with match.VerifyEmbedding
+	// before returning; a validation failure is returned as an error.
+	// Meant for tests and debugging, not production races.
+	Validate bool
+}
+
+// NewRacer returns a Racer with label frequencies taken from the stored
+// graph g.
+func NewRacer(g *graph.Graph) *Racer {
+	return &Racer{Frequencies: rewrite.FrequenciesOf(g)}
+}
+
+// NewDatasetRacer returns a Racer with dataset-wide label frequencies (the
+// FTV setting).
+func NewDatasetRacer(ds []*graph.Graph) *Racer {
+	return &Racer{Frequencies: rewrite.FrequenciesOfDataset(ds)}
+}
+
+// Race launches every attempt in its own goroutine against query q and
+// returns the first completed answer (which may legitimately be "no
+// embeddings"), cancelling the other attempts. All attempts must be bound
+// to stored graphs with identical answer semantics (normally: the same
+// stored graph), otherwise the race is not meaningful.
+//
+// If every attempt fails, Race returns the parent context's error when the
+// parent was cancelled, or the joined attempt errors otherwise.
+func (r *Racer) Race(ctx context.Context, q *graph.Graph, limit int, attempts []Attempt) (Result, error) {
+	if len(attempts) == 0 {
+		return Result{}, errors.New("psi: no attempts to race")
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		idx  int
+		embs []match.Embedding
+		err  error
+	}
+	ch := make(chan outcome, len(attempts))
+	start := time.Now()
+	for i, a := range attempts {
+		go func(idx int, a Attempt) {
+			q2, perm := rewrite.Apply(q, r.Frequencies, a.Rewriting, a.Seed)
+			embs, err := a.Matcher.Match(raceCtx, q2, limit)
+			if err == nil && a.Rewriting != rewrite.Orig {
+				mapped := make([]match.Embedding, len(embs))
+				for j, e := range embs {
+					mapped[j] = rewrite.MapBack(e, perm)
+				}
+				embs = mapped
+			}
+			ch <- outcome{idx: idx, embs: embs, err: err}
+		}(i, a)
+	}
+	var errs []error
+	for n := 0; n < len(attempts); n++ {
+		o := <-ch
+		if o.err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", attempts[o.idx].Label(), o.err))
+			continue
+		}
+		// Winner: stop the losers and return. Remaining goroutines exit
+		// into the buffered channel without leaking.
+		cancel()
+		if r.Validate {
+			for _, e := range o.embs {
+				if verr := match.VerifyEmbedding(q, attemptGraph(attempts[o.idx]), e); verr != nil {
+					return Result{}, fmt.Errorf("psi: winner %s returned invalid embedding: %w",
+						attempts[o.idx].Label(), verr)
+				}
+			}
+		}
+		return Result{
+			Embeddings:  o.embs,
+			Winner:      attempts[o.idx],
+			WinnerIndex: o.idx,
+			Elapsed:     time.Since(start),
+			Attempts:    len(attempts),
+		}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return Result{}, errors.Join(errs...)
+}
+
+// attemptGraph extracts the stored graph from matchers that expose it; used
+// only by Validate mode.
+func attemptGraph(a Attempt) *graph.Graph {
+	type graphHolder interface{ Graph() *graph.Graph }
+	if h, ok := a.Matcher.(graphHolder); ok {
+		return h.Graph()
+	}
+	return nil
+}
+
+// Portfolio builds the cross product of matchers and rewritings, the
+// general form of the paper's Ψ variants: Ψ([GQL/SPA]-[Or/DND]) is
+// Portfolio([gql, spa], [Orig, DND]) with 4 attempts.
+func Portfolio(matchers []match.Matcher, kinds []rewrite.Kind) []Attempt {
+	out := make([]Attempt, 0, len(matchers)*len(kinds))
+	for _, k := range kinds {
+		for _, m := range matchers {
+			out = append(out, Attempt{Matcher: m, Rewriting: k})
+		}
+	}
+	return out
+}
+
+// Rewritings builds single-algorithm attempts, one per rewriting — the
+// paper's Ψ(ILF/IND/DND)-style variants.
+func Rewritings(m match.Matcher, kinds []rewrite.Kind) []Attempt {
+	return Portfolio([]match.Matcher{m}, kinds)
+}
+
+// RacedMatcher exposes a fixed race configuration as a match.Matcher, so a
+// Ψ variant can be dropped anywhere a single algorithm is expected (the
+// public API and the examples use this).
+type RacedMatcher struct {
+	racer    *Racer
+	attempts []Attempt
+	name     string
+}
+
+// NewRacedMatcher builds a match.Matcher racing the given attempts.
+func NewRacedMatcher(name string, racer *Racer, attempts []Attempt) *RacedMatcher {
+	return &RacedMatcher{racer: racer, attempts: attempts, name: name}
+}
+
+// Name implements match.Matcher.
+func (m *RacedMatcher) Name() string { return m.name }
+
+// Match implements match.Matcher by racing the configured attempts.
+func (m *RacedMatcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match.Embedding, error) {
+	res, err := m.racer.Race(ctx, q, limit, m.attempts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Embeddings, nil
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/psi-graph/psi/internal/gql"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+	"github.com/psi-graph/psi/internal/quicksi"
+	"github.com/psi-graph/psi/internal/rewrite"
+	"github.com/psi-graph/psi/internal/spath"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+func randomStored(r *rand.Rand, n, extra, labels int) *graph.Graph {
+	b := graph.NewBuilder("g")
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(r.Intn(v), v); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !b.HasEdgePending(u, v) {
+			if err := b.AddEdge(u, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func extractQuery(r *rand.Rand, g *graph.Graph, wantEdges int) *graph.Graph {
+	start := r.Intn(g.N())
+	inQ := map[int32]bool{int32(start): true}
+	type edge struct{ u, v int32 }
+	var qEdges []edge
+	has := func(a, b int32) bool {
+		for _, e := range qEdges {
+			if (e.u == a && e.v == b) || (e.u == b && e.v == a) {
+				return true
+			}
+		}
+		return false
+	}
+	for len(qEdges) < wantEdges {
+		var frontier []edge
+		for v := range inQ {
+			for _, w := range g.Neighbors(int(v)) {
+				if !has(v, w) {
+					frontier = append(frontier, edge{v, w})
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		e := frontier[r.Intn(len(frontier))]
+		qEdges = append(qEdges, e)
+		inQ[e.u] = true
+		inQ[e.v] = true
+	}
+	ids := make([]int32, 0, len(inQ))
+	for v := range inQ {
+		ids = append(ids, v)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	old2new := make(map[int32]int, len(ids))
+	b := graph.NewBuilder("q")
+	for i, v := range ids {
+		old2new[v] = i
+		b.AddVertex(g.Label(int(v)))
+	}
+	for _, e := range qEdges {
+		if err := b.AddEdge(old2new[e.u], old2new[e.v]); err != nil {
+			panic(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestRaceFindsPlantedQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	g := randomStored(r, 40, 30, 3)
+	racer := NewRacer(g)
+	racer.Validate = true
+	attempts := append(
+		Rewritings(gql.New(g), []rewrite.Kind{rewrite.Orig, rewrite.ILF, rewrite.DND}),
+		Rewritings(spath.New(g), []rewrite.Kind{rewrite.Orig})...,
+	)
+	for trial := 0; trial < 15; trial++ {
+		q := extractQuery(r, g, 3+r.Intn(5))
+		res, err := racer.Race(context.Background(), q, 1, attempts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Contained() {
+			t.Fatalf("trial %d: planted query not found by %s", trial, res.Winner.Label())
+		}
+		if res.Attempts != len(attempts) {
+			t.Errorf("Attempts = %d", res.Attempts)
+		}
+		if res.WinnerIndex < 0 || res.WinnerIndex >= len(attempts) {
+			t.Errorf("WinnerIndex = %d", res.WinnerIndex)
+		}
+	}
+}
+
+func TestRaceAgreesWithSingleAlgorithm(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g := randomStored(r, 20, 12, 2)
+	racer := NewRacer(g)
+	racer.Validate = true
+	matchers := []match.Matcher{vf2.New(g), quicksi.New(g), gql.New(g), spath.New(g)}
+	attempts := Portfolio(matchers, []rewrite.Kind{rewrite.Orig, rewrite.ILFDND})
+	ref := match.NewReference(g)
+	for trial := 0; trial < 20; trial++ {
+		q := randomStored(r, 3+r.Intn(3), 2, 2) // may or may not be contained
+		want, err := ref.Match(context.Background(), q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := racer.Race(context.Background(), q, 1, attempts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Contained() != (len(want) > 0) {
+			t.Fatalf("trial %d: race says %v, reference says %v (winner %s)",
+				trial, res.Contained(), len(want) > 0, res.Winner.Label())
+		}
+	}
+}
+
+func TestRaceEmptyAttempts(t *testing.T) {
+	racer := &Racer{}
+	_, err := racer.Race(context.Background(), graph.MustNew("q", nil, nil), 1, nil)
+	if err == nil {
+		t.Error("expected error for empty attempt list")
+	}
+}
+
+// slowMatcher blocks until cancelled; used to prove the race returns as
+// soon as one attempt finishes and cancels stragglers.
+type slowMatcher struct {
+	cancelled atomic.Bool
+}
+
+func (s *slowMatcher) Name() string { return "SLOW" }
+func (s *slowMatcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match.Embedding, error) {
+	<-ctx.Done()
+	s.cancelled.Store(true)
+	return nil, ctx.Err()
+}
+
+func TestRaceCancelsLosers(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0, 0}, [][2]int{{0, 1}})
+	q := graph.MustNew("q", []graph.Label{0}, nil)
+	slow := &slowMatcher{}
+	racer := NewRacer(g)
+	attempts := []Attempt{
+		{Matcher: slow, Rewriting: rewrite.Orig},
+		{Matcher: vf2.New(g), Rewriting: rewrite.Orig},
+	}
+	res, err := racer.Race(context.Background(), q, 1, attempts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner.Matcher.Name() != "VF2" {
+		t.Errorf("winner = %s, want VF2", res.Winner.Matcher.Name())
+	}
+	// give the loser a moment to observe cancellation
+	deadline := time.Now().Add(2 * time.Second)
+	for !slow.cancelled.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !slow.cancelled.Load() {
+		t.Error("loser was not cancelled")
+	}
+}
+
+func TestRaceParentCancellation(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0, 0}, [][2]int{{0, 1}})
+	q := graph.MustNew("q", []graph.Label{0}, nil)
+	racer := NewRacer(g)
+	attempts := []Attempt{{Matcher: &slowMatcher{}, Rewriting: rewrite.Orig}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := racer.Race(ctx, q, 1, attempts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// failMatcher returns a non-context error.
+type failMatcher struct{}
+
+func (failMatcher) Name() string { return "FAIL" }
+func (failMatcher) Match(context.Context, *graph.Graph, int) ([]match.Embedding, error) {
+	return nil, errors.New("boom")
+}
+
+func TestRaceAllAttemptsFail(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0}, nil)
+	q := graph.MustNew("q", []graph.Label{0}, nil)
+	racer := NewRacer(g)
+	attempts := []Attempt{
+		{Matcher: failMatcher{}, Rewriting: rewrite.Orig},
+		{Matcher: failMatcher{}, Rewriting: rewrite.IND},
+	}
+	_, err := racer.Race(context.Background(), q, 1, attempts)
+	if err == nil {
+		t.Fatal("expected joined error")
+	}
+}
+
+func TestRaceSurvivesOneFailingAttempt(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0, 0}, [][2]int{{0, 1}})
+	q := graph.MustNew("q", []graph.Label{0}, nil)
+	racer := NewRacer(g)
+	attempts := []Attempt{
+		{Matcher: failMatcher{}, Rewriting: rewrite.Orig},
+		{Matcher: vf2.New(g), Rewriting: rewrite.Orig},
+	}
+	res, err := racer.Race(context.Background(), q, 1, attempts)
+	if err != nil {
+		t.Fatalf("race should survive a failing attempt: %v", err)
+	}
+	if !res.Contained() {
+		t.Error("expected containment")
+	}
+}
+
+func TestRaceMapsEmbeddingsBack(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := randomStored(r, 25, 15, 3)
+	racer := NewRacer(g)
+	racer.Validate = true // VerifyEmbedding fails if mapping is wrong
+	q := extractQuery(r, g, 5)
+	for _, k := range rewrite.Structured {
+		attempts := []Attempt{{Matcher: vf2.New(g), Rewriting: k}}
+		res, err := racer.Race(context.Background(), q, 3, attempts)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if !res.Contained() {
+			t.Fatalf("%v: not found", k)
+		}
+		for _, e := range res.Embeddings {
+			if err := match.VerifyEmbedding(q, g, e); err != nil {
+				t.Fatalf("%v: invalid mapped embedding: %v", k, err)
+			}
+		}
+	}
+}
+
+func TestRaceEmbeddingCountMatchesDirectRun(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	g := randomStored(r, 15, 8, 2)
+	q := extractQuery(r, g, 3)
+	direct, err := vf2.Match(context.Background(), q, g, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	racer := NewRacer(g)
+	attempts := Rewritings(vf2.New(g), append([]rewrite.Kind{rewrite.Orig}, rewrite.Structured...))
+	res, err := racer.Race(context.Background(), q, 1000, attempts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Embeddings) != len(direct) {
+		t.Errorf("race returned %d embeddings, direct run %d", len(res.Embeddings), len(direct))
+	}
+}
+
+func TestAttemptLabel(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0}, nil)
+	a := Attempt{Matcher: gql.New(g), Rewriting: rewrite.ILFIND}
+	if a.Label() != "GQL-ILF+IND" {
+		t.Errorf("Label = %q", a.Label())
+	}
+}
+
+func TestPortfolioShape(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0}, nil)
+	ms := []match.Matcher{gql.New(g), spath.New(g)}
+	ks := []rewrite.Kind{rewrite.Orig, rewrite.DND}
+	p := Portfolio(ms, ks)
+	if len(p) != 4 {
+		t.Fatalf("portfolio size = %d", len(p))
+	}
+	// Ψ([GQL/SPA]-[Or/DND]): both algorithms appear with both rewritings
+	seen := make(map[string]bool)
+	for _, a := range p {
+		seen[a.Label()] = true
+	}
+	for _, want := range []string{"GQL-Orig", "SPA-Orig", "GQL-DND", "SPA-DND"} {
+		if !seen[want] {
+			t.Errorf("missing attempt %s", want)
+		}
+	}
+}
+
+func TestRacedMatcherAdapter(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randomStored(r, 20, 10, 2)
+	racer := NewRacer(g)
+	rm := NewRacedMatcher("Ψ(GQL/SPA)", racer,
+		Portfolio([]match.Matcher{gql.New(g), spath.New(g)}, []rewrite.Kind{rewrite.Orig}))
+	if rm.Name() != "Ψ(GQL/SPA)" {
+		t.Errorf("Name = %q", rm.Name())
+	}
+	q := extractQuery(r, g, 4)
+	embs, err := rm.Match(context.Background(), q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(embs) != 1 {
+		t.Errorf("got %d embeddings", len(embs))
+	}
+	if err := match.VerifyEmbedding(q, g, embs[0]); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+package ftv
+
+// An iGQ-style query-result cache (Wang, Ntarmos, Triantafillou, EDBT 2016
+// — reference [19] of the reproduced paper, which notes it "employs caching
+// on top of any proposed FTV method to improve performance"). The cache
+// exploits both containment directions between a new query q and a cached
+// query q′:
+//
+//   - q′ ⊆ q (cached query is a subgraph): every answer graph of q must
+//     also contain q′, so candidates(q) shrinks to answers(q′).
+//   - q ⊆ q′ (cached query is a supergraph): every answer graph of q′
+//     certainly contains q, so those candidates skip verification.
+//
+// Both tests are sub-iso between *query-sized* graphs, orders of magnitude
+// cheaper than verification against dataset graphs.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+// CacheStats counts cache effectiveness.
+type CacheStats struct {
+	// ExactHits are answers served without any verification.
+	ExactHits int
+	// SubPrunes counts candidates removed via cached subgraph queries.
+	SubPrunes int
+	// SuperAccepts counts verifications skipped via cached supergraph
+	// queries.
+	SuperAccepts int
+	// Verifications counts actual Verify calls performed.
+	Verifications int
+	// Misses counts queries answered without any cache help.
+	Misses int
+}
+
+// cacheEntry is one remembered (query, answer-set) pair.
+type cacheEntry struct {
+	key     string
+	q       *graph.Graph
+	answers map[int]bool
+}
+
+// Cached wraps an FTV index with an iGQ-style result cache. Safe for
+// concurrent use. The zero value is not usable; construct with NewCached.
+type Cached struct {
+	index      ftvIndex
+	maxEntries int
+
+	mu      sync.Mutex
+	entries []cacheEntry // FIFO eviction
+	stats   CacheStats
+}
+
+// ftvIndex is the subset of Index that Cached consumes; declared locally so
+// the wrapper also works with test doubles.
+type ftvIndex interface {
+	Name() string
+	Dataset() []*graph.Graph
+	Filter(q *graph.Graph) []int
+	Verify(ctx context.Context, q *graph.Graph, graphID int) (bool, error)
+}
+
+// NewCached wraps x with a cache holding up to maxEntries remembered
+// queries (0 means 128).
+func NewCached(x Index, maxEntries int) *Cached {
+	if maxEntries <= 0 {
+		maxEntries = 128
+	}
+	return &Cached{index: x, maxEntries: maxEntries}
+}
+
+// Name identifies the wrapped configuration.
+func (c *Cached) Name() string { return c.index.Name() + "+cache" }
+
+// Dataset implements Index.
+func (c *Cached) Dataset() []*graph.Graph { return c.index.Dataset() }
+
+// Filter implements Index by delegation (the cache acts at Answer level).
+func (c *Cached) Filter(q *graph.Graph) []int { return c.index.Filter(q) }
+
+// Verify implements Index by delegation.
+func (c *Cached) Verify(ctx context.Context, q *graph.Graph, graphID int) (bool, error) {
+	return c.index.Verify(ctx, q, graphID)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cached) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports the number of cached entries.
+func (c *Cached) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Answer runs the decision pipeline with cache assistance and remembers the
+// result. Answers are identical to the uncached pipeline.
+func (c *Cached) Answer(ctx context.Context, q *graph.Graph) ([]int, error) {
+	key := canonicalKey(q)
+	// Exact hit?
+	c.mu.Lock()
+	for _, e := range c.entries {
+		if e.key == key {
+			c.stats.ExactHits++
+			out := setToSlice(e.answers)
+			c.mu.Unlock()
+			return out, nil
+		}
+	}
+	// Snapshot entries for containment tests outside the lock.
+	snapshot := append([]cacheEntry(nil), c.entries...)
+	c.mu.Unlock()
+
+	candidates := make(map[int]bool)
+	for _, id := range c.index.Filter(q) {
+		candidates[id] = true
+	}
+	definite := make(map[int]bool)
+	var subPrunes, superAccepts int
+	for _, e := range snapshot {
+		// q′ ⊆ q: intersect candidates with answers(q′).
+		if e.q.N() <= q.N() && e.q.M() <= q.M() {
+			ok, err := containedIn(ctx, e.q, q)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				for id := range candidates {
+					if !e.answers[id] {
+						delete(candidates, id)
+						subPrunes++
+					}
+				}
+			}
+		}
+		// q ⊆ q′: answers(q′) are definite positives.
+		if q.N() <= e.q.N() && q.M() <= e.q.M() {
+			ok, err := containedIn(ctx, q, e.q)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				for id := range e.answers {
+					if candidates[id] && !definite[id] {
+						definite[id] = true
+						superAccepts++
+					}
+				}
+			}
+		}
+	}
+
+	answers := make(map[int]bool, len(candidates))
+	verifications := 0
+	for id := range candidates {
+		if definite[id] {
+			answers[id] = true
+			continue
+		}
+		ok, err := c.index.Verify(ctx, q, id)
+		verifications++
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			answers[id] = true
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.SubPrunes += subPrunes
+	c.stats.SuperAccepts += superAccepts
+	c.stats.Verifications += verifications
+	if subPrunes == 0 && superAccepts == 0 {
+		c.stats.Misses++
+	}
+	// Another goroutine may have inserted the same key meanwhile; keep a
+	// single copy.
+	dup := false
+	for _, e := range c.entries {
+		if e.key == key {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		c.entries = append(c.entries, cacheEntry{key: key, q: q, answers: answers})
+		if len(c.entries) > c.maxEntries {
+			c.entries = c.entries[1:]
+		}
+	}
+	c.mu.Unlock()
+	return setToSlice(answers), nil
+}
+
+// containedIn reports q1 ⊆ q2 (both query-sized graphs).
+func containedIn(ctx context.Context, q1, q2 *graph.Graph) (bool, error) {
+	embs, err := vf2.Match(ctx, q1, q2, 1)
+	if err != nil {
+		return false, err
+	}
+	return len(embs) > 0, nil
+}
+
+// canonicalKey serializes q after a deterministic structure-driven vertex
+// ordering. It is *not* a complete canonical form (graph canonization is
+// GI-hard): isomorphic queries may receive different keys — a missed hit,
+// never a wrong one — while unequal keys always denote unequal serialized
+// structures, so exact hits are sound.
+func canonicalKey(q *graph.Graph) string {
+	n := q.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sig := make([]string, n)
+	for v := 0; v < n; v++ {
+		nb := make([]graph.Label, 0, q.Degree(v))
+		for _, w := range q.Neighbors(v) {
+			nb = append(nb, q.Label(int(w)))
+		}
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		sig[v] = fmt.Sprintf("%d|%d|%v", q.Label(v), q.Degree(v), nb)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if sig[order[i]] != sig[order[j]] {
+			return sig[order[i]] < sig[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	rank := make([]int, n)
+	for r, v := range order {
+		rank[v] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d;", n)
+	for _, v := range order {
+		fmt.Fprintf(&b, "v%d;", q.Label(v))
+	}
+	edges := make([][3]int, 0, q.M())
+	q.LabeledEdges(func(u, v int, l graph.Label) {
+		a, z := rank[u], rank[v]
+		if a > z {
+			a, z = z, a
+		}
+		edges = append(edges, [3]int{a, z, int(l)})
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		if edges[i][1] != edges[j][1] {
+			return edges[i][1] < edges[j][1]
+		}
+		return edges[i][2] < edges[j][2]
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "e%d,%d,%d;", e[0], e[1], e[2])
+	}
+	return b.String()
+}
+
+func setToSlice(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,290 @@
+package ftv
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+// bruteIndex is a no-filter Index over a dataset, verifying with VF2; it
+// counts Verify calls so tests can prove the cache avoids work.
+type bruteIndex struct {
+	ds      []*graph.Graph
+	mu      sync.Mutex
+	verifys int
+}
+
+func (b *bruteIndex) Name() string            { return "brute" }
+func (b *bruteIndex) Dataset() []*graph.Graph { return b.ds }
+func (b *bruteIndex) Filter(*graph.Graph) []int {
+	out := make([]int, len(b.ds))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+func (b *bruteIndex) Verify(ctx context.Context, q *graph.Graph, id int) (bool, error) {
+	b.mu.Lock()
+	b.verifys++
+	b.mu.Unlock()
+	embs, err := vf2.Match(ctx, q, b.ds[id], 1)
+	return len(embs) > 0, err
+}
+func (b *bruteIndex) verifyCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.verifys
+}
+
+func testDataset(r *rand.Rand, numGraphs, n int) []*graph.Graph {
+	ds := make([]*graph.Graph, numGraphs)
+	for i := range ds {
+		b := graph.NewBuilder("g")
+		for v := 0; v < n; v++ {
+			b.AddVertex(graph.Label(r.Intn(3)))
+		}
+		for v := 1; v < n; v++ {
+			if err := b.AddEdge(r.Intn(v), v); err != nil {
+				panic(err)
+			}
+		}
+		for e := 0; e < n; e++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !b.HasEdgePending(u, v) {
+				if err := b.AddEdge(u, v); err != nil {
+					panic(err)
+				}
+			}
+		}
+		ds[i] = b.MustBuild()
+	}
+	return ds
+}
+
+func extractSub(r *rand.Rand, g *graph.Graph, k int) *graph.Graph {
+	start := r.Intn(g.N())
+	verts := []int32{int32(start)}
+	seen := map[int32]bool{int32(start): true}
+	for len(verts) < k {
+		v := verts[r.Intn(len(verts))]
+		nb := g.Neighbors(int(v))
+		if len(nb) == 0 {
+			break
+		}
+		w := nb[r.Intn(len(nb))]
+		if !seen[w] {
+			seen[w] = true
+			verts = append(verts, w)
+		}
+	}
+	sub, _ := g.InducedSubgraph("q", verts)
+	return sub
+}
+
+func TestCachedAnswerMatchesUncached(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := testDataset(r, 5, 10)
+		plain := &bruteIndex{ds: ds}
+		cached := NewCached(plain, 16)
+		for trial := 0; trial < 6; trial++ {
+			q := extractSub(r, ds[r.Intn(len(ds))], 2+r.Intn(4))
+			want, err := Answer(context.Background(), plain, q)
+			if err != nil {
+				return false
+			}
+			got, err := cached.Answer(context.Background(), q)
+			if err != nil {
+				return false
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCachedExactHitSkipsVerification(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ds := testDataset(r, 4, 10)
+	idx := &bruteIndex{ds: ds}
+	cached := NewCached(idx, 16)
+	q := extractSub(r, ds[0], 4)
+	first, err := cached.Answer(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := idx.verifyCount()
+	second, err := cached.Answer(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.verifyCount() != before {
+		t.Error("exact hit must not verify anything")
+	}
+	if len(first) != len(second) {
+		t.Error("hit answer differs")
+	}
+	if cached.Stats().ExactHits != 1 {
+		t.Errorf("stats = %+v", cached.Stats())
+	}
+}
+
+// A cached subgraph answer must prune candidates of a bigger query: after
+// caching a 3-vertex query whose answer excludes some graphs, a supergraph
+// query must not verify against the excluded graphs.
+func TestCachedSubgraphPruning(t *testing.T) {
+	// dataset: g0 contains the path A-B-C; g1 does not contain label C.
+	g0 := graph.MustNew("g0", []graph.Label{0, 1, 2, 0}, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	g1 := graph.MustNew("g1", []graph.Label{0, 1, 0, 1}, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	idx := &bruteIndex{ds: []*graph.Graph{g0, g1}}
+	cached := NewCached(idx, 16)
+	small := graph.MustNew("s", []graph.Label{1, 2}, [][2]int{{0, 1}}) // B-C edge
+	if _, err := cached.Answer(context.Background(), small); err != nil {
+		t.Fatal(err)
+	}
+	// big query contains B-C: g1 can be pruned without verification.
+	big := graph.MustNew("b", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}})
+	before := idx.verifyCount()
+	ans, err := cached.Answer(context.Background(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || ans[0] != 0 {
+		t.Fatalf("answer = %v, want [0]", ans)
+	}
+	if idx.verifyCount()-before != 1 {
+		t.Errorf("expected exactly 1 verification (g1 pruned), got %d", idx.verifyCount()-before)
+	}
+	if cached.Stats().SubPrunes == 0 {
+		t.Error("expected subgraph prunes to be counted")
+	}
+}
+
+// A cached supergraph answer must mark candidates as definite positives.
+func TestCachedSupergraphAccept(t *testing.T) {
+	g0 := graph.MustNew("g0", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}})
+	idx := &bruteIndex{ds: []*graph.Graph{g0}}
+	cached := NewCached(idx, 16)
+	big := graph.MustNew("b", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}})
+	if _, err := cached.Answer(context.Background(), big); err != nil {
+		t.Fatal(err)
+	}
+	// smaller query contained in the cached one: g0 accepted for free.
+	small := graph.MustNew("s", []graph.Label{0, 1}, [][2]int{{0, 1}})
+	before := idx.verifyCount()
+	ans, err := cached.Answer(context.Background(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 {
+		t.Fatalf("answer = %v", ans)
+	}
+	if idx.verifyCount() != before {
+		t.Error("supergraph hit should skip verification entirely")
+	}
+	if cached.Stats().SuperAccepts == 0 {
+		t.Error("expected supergraph accepts to be counted")
+	}
+}
+
+func TestCachedEviction(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ds := testDataset(r, 3, 12)
+	cached := NewCached(&bruteIndex{ds: ds}, 2)
+	for i := 0; i < 5; i++ {
+		q := extractSub(r, ds[i%3], 2+i%3)
+		if _, err := cached.Answer(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cached.Len() > 2 {
+		t.Errorf("cache holds %d entries, max 2", cached.Len())
+	}
+}
+
+func TestCachedName(t *testing.T) {
+	cached := NewCached(&bruteIndex{}, 0)
+	if cached.Name() != "brute+cache" {
+		t.Errorf("Name = %q", cached.Name())
+	}
+}
+
+func TestCanonicalKeyProperties(t *testing.T) {
+	// isomorphic graphs with this simple shape get the same key
+	a := graph.MustNew("a", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}})
+	b := graph.MustNew("b", []graph.Label{2, 1, 0}, [][2]int{{0, 1}, {1, 2}})
+	if canonicalKey(a) != canonicalKey(b) {
+		t.Error("relabeled path should share a canonical key")
+	}
+	// different structure must differ
+	c := graph.MustNew("c", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {0, 2}})
+	if canonicalKey(a) == canonicalKey(c) {
+		t.Error("different structures must have different keys")
+	}
+	// edge labels distinguish keys
+	bb := graph.NewBuilder("d")
+	bb.AddVertex(0)
+	bb.AddVertex(1)
+	if err := bb.AddLabeledEdge(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	d := bb.MustBuild()
+	e := graph.MustNew("e", []graph.Label{0, 1}, [][2]int{{0, 1}})
+	if canonicalKey(d) == canonicalKey(e) {
+		t.Error("edge labels must affect the key")
+	}
+}
+
+func TestCachedConcurrentAnswers(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ds := testDataset(r, 4, 10)
+	plain := &bruteIndex{ds: ds}
+	cached := NewCached(plain, 32)
+	queries := make([]*graph.Graph, 12)
+	for i := range queries {
+		queries[i] = extractSub(r, ds[i%4], 2+i%4)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(queries)*4)
+	for rep := 0; rep < 4; rep++ {
+		for _, q := range queries {
+			wg.Add(1)
+			go func(q *graph.Graph) {
+				defer wg.Done()
+				got, err := cached.Answer(context.Background(), q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want, err := Answer(context.Background(), plain, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) != len(want) {
+					errs <- context.DeadlineExceeded // any sentinel
+				}
+			}(q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package ftv defines the contract shared by the filter-then-verify methods
+// (Grapes, GGSX) and the path-feature utilities both build on. FTV methods
+// solve the decision problem over a dataset of many graphs (§2.1 of the
+// paper): an index over path features prunes the dataset down to a candidate
+// set, and each candidate is then verified with VF2.
+package ftv
+
+import (
+	"context"
+	"encoding/binary"
+	"sort"
+
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+// DefaultMaxPathLen follows the paper's setup: "for GGSX and Grapes, we
+// enumerated paths of up to size of 4".
+const DefaultMaxPathLen = 4
+
+// Index is the filter-then-verify contract. Implementations are safe for
+// concurrent queries once built.
+type Index interface {
+	// Name identifies the method as in the paper's figures, e.g.
+	// "Grapes/4" or "GGSX".
+	Name() string
+
+	// Dataset returns the indexed graphs; Filter results and Verify's
+	// graphID refer to positions in this slice.
+	Dataset() []*graph.Graph
+
+	// Filter returns the IDs of graphs that may contain q, in ascending
+	// order. It must never prune a graph that actually contains q
+	// (no false negatives); false positives are resolved by Verify.
+	Filter(q *graph.Graph) []int
+
+	// Verify decides whether q is subgraph-isomorphic to dataset graph
+	// graphID. This is the "pure sub-iso time" stage the paper measures.
+	Verify(ctx context.Context, q *graph.Graph, graphID int) (bool, error)
+}
+
+// Answer runs the full decision pipeline — filter, then verify every
+// candidate — and returns the IDs of graphs containing q.
+func Answer(ctx context.Context, x Index, q *graph.Graph) ([]int, error) {
+	var out []int
+	for _, id := range x.Filter(q) {
+		ok, err := x.Verify(ctx, q, id)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// PathKey encodes a label sequence as a string usable as a map key.
+func PathKey(labels []graph.Label) string {
+	buf := make([]byte, 4*len(labels))
+	for i, l := range labels {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(l))
+	}
+	return string(buf)
+}
+
+// DecodePathKey inverts PathKey; used by diagnostics and tests.
+func DecodePathKey(key string) []graph.Label {
+	b := []byte(key)
+	out := make([]graph.Label, len(b)/4)
+	for i := range out {
+		out[i] = graph.Label(binary.BigEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// PathFeature is one extracted path feature of a graph: its label sequence,
+// its number of (directed) occurrences, and optionally the set of vertices
+// touched by any occurrence (Grapes' location information).
+type PathFeature struct {
+	Labels    []graph.Label
+	Count     int32
+	Locations []int32 // sorted unique vertex IDs; nil when not tracked
+}
+
+// ExtractFeatures enumerates every simple path of 1..maxLen edges of g (in
+// both directions, as the DFS from every start vertex naturally does) and
+// aggregates them by label sequence. When withLocations is true each
+// feature also records the vertices covered by its occurrences.
+func ExtractFeatures(g *graph.Graph, maxLen int, withLocations bool) map[string]*PathFeature {
+	feats := make(map[string]*PathFeature)
+	var locSets map[string]map[int32]struct{}
+	if withLocations {
+		locSets = make(map[string]map[int32]struct{})
+	}
+	labelBuf := make([]graph.Label, 0, maxLen+1)
+	g.EnumeratePaths(maxLen, func(path []int32) {
+		labelBuf = labelBuf[:0]
+		for _, v := range path {
+			labelBuf = append(labelBuf, g.Label(int(v)))
+		}
+		key := PathKey(labelBuf)
+		f := feats[key]
+		if f == nil {
+			lbls := make([]graph.Label, len(labelBuf))
+			copy(lbls, labelBuf)
+			f = &PathFeature{Labels: lbls}
+			feats[key] = f
+		}
+		f.Count++
+		if withLocations {
+			set := locSets[key]
+			if set == nil {
+				set = make(map[int32]struct{})
+				locSets[key] = set
+			}
+			for _, v := range path {
+				set[v] = struct{}{}
+			}
+		}
+	})
+	if withLocations {
+		for key, set := range locSets {
+			locs := make([]int32, 0, len(set))
+			for v := range set {
+				locs = append(locs, v)
+			}
+			sortInt32(locs)
+			feats[key].Locations = locs
+		}
+	}
+	return feats
+}
+
+// QueryFeature is a maximal path of the query with its occurrence count —
+// what Grapes/GGSX look up in their indexes at query time.
+type QueryFeature struct {
+	Labels []graph.Label
+	Count  int32
+}
+
+// QueryFeatures extracts the query's maximal paths (up to maxLen edges) and
+// groups them by label sequence with occurrence counts. Occurrence counts of
+// maximal paths are a lower bound on total path occurrences in any graph
+// containing the query, so frequency pruning against indexed counts is
+// sound.
+func QueryFeatures(q *graph.Graph, maxLen int) map[string]*QueryFeature {
+	out := make(map[string]*QueryFeature)
+	for _, p := range q.MaximalPaths(maxLen) {
+		lbls := q.LabelPath(p)
+		key := PathKey(lbls)
+		f := out[key]
+		if f == nil {
+			f = &QueryFeature{Labels: lbls}
+			out[key] = f
+		}
+		f.Count++
+	}
+	return out
+}
+
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

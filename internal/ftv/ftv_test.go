@@ -1,0 +1,128 @@
+package ftv
+
+import (
+	"context"
+	"testing"
+
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+func TestPathKeyRoundTrip(t *testing.T) {
+	seqs := [][]graph.Label{
+		{0}, {1, 2}, {5, 5, 5}, {1000000, 0, 3},
+	}
+	for _, s := range seqs {
+		got := DecodePathKey(PathKey(s))
+		if len(got) != len(s) {
+			t.Fatalf("round trip of %v = %v", s, got)
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				t.Fatalf("round trip of %v = %v", s, got)
+			}
+		}
+	}
+}
+
+func TestPathKeyDistinguishesSequences(t *testing.T) {
+	a := PathKey([]graph.Label{1, 2})
+	b := PathKey([]graph.Label{2, 1})
+	c := PathKey([]graph.Label{1, 2, 0})
+	if a == b || a == c || b == c {
+		t.Error("distinct sequences must have distinct keys")
+	}
+}
+
+func TestExtractFeaturesPathGraph(t *testing.T) {
+	// path 0(a)-1(b)-2(c): directed paths: a-b, b-a, b-c, c-b, a-b-c, c-b-a
+	g := graph.MustNew("p", []graph.Label{10, 11, 12}, [][2]int{{0, 1}, {1, 2}})
+	feats := ExtractFeatures(g, 4, true)
+	if len(feats) != 6 {
+		t.Fatalf("got %d features, want 6", len(feats))
+	}
+	f := feats[PathKey([]graph.Label{10, 11, 12})]
+	if f == nil || f.Count != 1 {
+		t.Fatalf("a-b-c feature = %+v", f)
+	}
+	if len(f.Locations) != 3 {
+		t.Errorf("a-b-c locations = %v, want all 3 vertices", f.Locations)
+	}
+	f2 := feats[PathKey([]graph.Label{11, 10})]
+	if f2 == nil || f2.Count != 1 {
+		t.Fatalf("b-a feature = %+v", f2)
+	}
+	if len(f2.Locations) != 2 {
+		t.Errorf("b-a locations = %v", f2.Locations)
+	}
+}
+
+func TestExtractFeaturesCountsMultipleOccurrences(t *testing.T) {
+	// star: center label 0, two leaves label 1: path 1-0 occurs twice
+	g := graph.MustNew("s", []graph.Label{0, 1, 1}, [][2]int{{0, 1}, {0, 2}})
+	feats := ExtractFeatures(g, 2, false)
+	f := feats[PathKey([]graph.Label{1, 0})]
+	if f == nil || f.Count != 2 {
+		t.Fatalf("leaf-center feature = %+v, want count 2", f)
+	}
+	if f.Locations != nil {
+		t.Error("locations must be nil when not requested")
+	}
+	// 1-0-1 path occurs twice (both directions)
+	f2 := feats[PathKey([]graph.Label{1, 0, 1})]
+	if f2 == nil || f2.Count != 2 {
+		t.Fatalf("leaf-center-leaf feature = %+v, want count 2", f2)
+	}
+}
+
+func TestQueryFeaturesMaximalOnly(t *testing.T) {
+	// path a-b-c with maxLen 4: maximal paths (DFS from every start) are
+	// a-b-c, c-b-a, plus b-a and b-c (starting mid-path, immediately
+	// stuck). Prefixes of longer DFS walks, like a-b, must NOT appear.
+	g := graph.MustNew("p", []graph.Label{10, 11, 12}, [][2]int{{0, 1}, {1, 2}})
+	feats := QueryFeatures(g, 4)
+	if len(feats) != 4 {
+		t.Fatalf("got %d query features, want 4", len(feats))
+	}
+	if feats[PathKey([]graph.Label{10, 11, 12})] == nil {
+		t.Error("missing maximal path a-b-c")
+	}
+	if feats[PathKey([]graph.Label{11, 10})] == nil {
+		t.Error("missing maximal path b-a")
+	}
+	if feats[PathKey([]graph.Label{10, 11})] != nil {
+		t.Error("non-maximal prefix a-b must not be a query feature")
+	}
+}
+
+func TestQueryFeaturesEdgelessQuery(t *testing.T) {
+	g := graph.MustNew("v", []graph.Label{0}, nil)
+	if len(QueryFeatures(g, 4)) != 0 {
+		t.Error("edgeless query has no path features")
+	}
+}
+
+// fakeIndex exercises the Answer pipeline without a real index.
+type fakeIndex struct {
+	ds       []*graph.Graph
+	filtered []int
+}
+
+func (f *fakeIndex) Name() string            { return "fake" }
+func (f *fakeIndex) Dataset() []*graph.Graph { return f.ds }
+func (f *fakeIndex) Filter(*graph.Graph) []int {
+	return f.filtered
+}
+func (f *fakeIndex) Verify(ctx context.Context, q *graph.Graph, id int) (bool, error) {
+	return id%2 == 0, nil
+}
+
+func TestAnswerPipeline(t *testing.T) {
+	x := &fakeIndex{filtered: []int{0, 1, 2, 3}}
+	got, err := Answer(context.Background(), x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Answer = %v, want [0 2]", got)
+	}
+}

@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"math/rand"
+
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+// SingleConfig shapes a single large stored graph for the NFV methods,
+// matching the statistics the paper reports in Table 2 and leans on in
+// §6.2: node/edge counts (density), label alphabet size, label-frequency
+// skew, and degree skew.
+type SingleConfig struct {
+	Nodes  int
+	Edges  int
+	Labels int
+	// LabelZipfS is the Zipf exponent for label assignment; values > 1
+	// concentrate frequency mass on few labels (wordnet-style). Zero or
+	// negative means uniform labels.
+	LabelZipfS float64
+	// PrefAttach is the probability that an edge endpoint is chosen by
+	// preferential attachment (proportional to current degree) rather
+	// than uniformly; produces heavy-tailed degree distributions like
+	// yeast's and human's (Table 2: degree stddev ≈ 1.5–2× the mean).
+	PrefAttach float64
+	// Tree forces a spanning tree so the graph is connected; wordnet-like
+	// graphs (avg degree 2.9) are dominated by their tree edges.
+	Tree bool
+	// EdgeLabels > 1 assigns each edge a uniform random label from
+	// [0, EdgeLabels). The paper's datasets are vertex-labeled only, so
+	// every preset leaves this at 0; it exists for the edge-labeled
+	// extension exercised by the tests.
+	EdgeLabels int
+}
+
+// Single generates one stored graph per cfg, deterministically from seed.
+func Single(name string, cfg SingleConfig, seed int64) *graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	n := cfg.Nodes
+	b := graph.NewBuilder(name)
+	// Labels: uniform or Zipf-skewed over the alphabet.
+	if cfg.LabelZipfS > 1 {
+		z := rand.NewZipf(r, cfg.LabelZipfS, 1, uint64(cfg.Labels-1))
+		for v := 0; v < n; v++ {
+			b.AddVertex(graph.Label(z.Uint64()))
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			b.AddVertex(graph.Label(r.Intn(cfg.Labels)))
+		}
+	}
+	seen := make(map[[2]int]bool, cfg.Edges)
+	// endpoints records every edge endpoint; picking a uniform element
+	// implements preferential attachment (probability ∝ degree).
+	endpoints := make([]int, 0, 2*cfg.Edges)
+	addEdge := func(u, v int) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			return false
+		}
+		seen[[2]int{u, v}] = true
+		el := graph.Label(0)
+		if cfg.EdgeLabels > 1 {
+			el = graph.Label(r.Intn(cfg.EdgeLabels))
+		}
+		if err := b.AddLabeledEdge(u, v, el); err != nil {
+			panic(err)
+		}
+		endpoints = append(endpoints, u, v)
+		return true
+	}
+	pick := func() int {
+		if cfg.PrefAttach > 0 && len(endpoints) > 0 && r.Float64() < cfg.PrefAttach {
+			return endpoints[r.Intn(len(endpoints))]
+		}
+		return r.Intn(n)
+	}
+	added := 0
+	if cfg.Tree {
+		for v := 1; v < n; v++ {
+			u := r.Intn(v)
+			if cfg.PrefAttach > 0 && len(endpoints) > 0 && r.Float64() < cfg.PrefAttach {
+				if c := endpoints[r.Intn(len(endpoints))]; c < v {
+					u = c // preferential attachment, constrained to earlier vertices
+				}
+			}
+			if addEdge(u, v) {
+				added++
+			}
+		}
+	}
+	for tries := 0; added < cfg.Edges && tries < 40*cfg.Edges; tries++ {
+		if addEdge(pick(), pick()) {
+			added++
+		}
+	}
+	return b.MustBuild()
+}
+
+// YeastLikeAt returns the yeast-shaped configuration for a scale. At Paper
+// scale it matches Table 2: 3112 nodes, 12519 edges, 184 labels, moderate
+// label skew (avg frequency 127, stddev 322) and heavy-tailed degrees.
+func YeastLikeAt(scale Scale) SingleConfig {
+	switch scale {
+	case Tiny:
+		return SingleConfig{Nodes: 250, Edges: 1000, Labels: 24, LabelZipfS: 1.4, PrefAttach: 0.95, Tree: true}
+	case Small:
+		return SingleConfig{Nodes: 700, Edges: 2800, Labels: 50, LabelZipfS: 1.4, PrefAttach: 0.95, Tree: true}
+	case Medium:
+		return SingleConfig{Nodes: 1500, Edges: 6000, Labels: 100, LabelZipfS: 1.4, PrefAttach: 0.95, Tree: true}
+	default:
+		return SingleConfig{Nodes: 3112, Edges: 12519, Labels: 184, LabelZipfS: 1.4, PrefAttach: 0.95, Tree: true}
+	}
+}
+
+// HumanLikeAt returns the human-shaped configuration: much denser (avg
+// degree ≈ 37 at paper scale) with a 90-label alphabet.
+func HumanLikeAt(scale Scale) SingleConfig {
+	switch scale {
+	case Tiny:
+		return SingleConfig{Nodes: 200, Edges: 3000, Labels: 16, LabelZipfS: 1.3, PrefAttach: 0.4, Tree: true}
+	case Small:
+		return SingleConfig{Nodes: 500, Edges: 8500, Labels: 30, LabelZipfS: 1.3, PrefAttach: 0.4, Tree: true}
+	case Medium:
+		return SingleConfig{Nodes: 1200, Edges: 22000, Labels: 50, LabelZipfS: 1.3, PrefAttach: 0.4, Tree: true}
+	default:
+		return SingleConfig{Nodes: 4674, Edges: 86282, Labels: 90, LabelZipfS: 1.3, PrefAttach: 0.4, Tree: true}
+	}
+}
+
+// WordnetLikeAt returns the wordnet-shaped configuration: very sparse (avg
+// degree 2.9: almost a tree), only 5 labels with extreme frequency skew —
+// the regime where §6.2 observes that rewritings stop helping.
+func WordnetLikeAt(scale Scale) SingleConfig {
+	switch scale {
+	case Tiny:
+		return SingleConfig{Nodes: 600, Edges: 900, Labels: 5, LabelZipfS: 2.6, PrefAttach: 0.3, Tree: true}
+	case Small:
+		return SingleConfig{Nodes: 2000, Edges: 3000, Labels: 5, LabelZipfS: 2.6, PrefAttach: 0.3, Tree: true}
+	case Medium:
+		return SingleConfig{Nodes: 8000, Edges: 12000, Labels: 5, LabelZipfS: 2.6, PrefAttach: 0.3, Tree: true}
+	default:
+		return SingleConfig{Nodes: 82670, Edges: 120399, Labels: 5, LabelZipfS: 2.6, PrefAttach: 0.3, Tree: true}
+	}
+}
+
+// YeastLike generates the yeast-shaped stored graph at the given scale.
+func YeastLike(scale Scale, seed int64) *graph.Graph {
+	return Single("yeast-like", YeastLikeAt(scale), seed)
+}
+
+// HumanLike generates the human-shaped stored graph at the given scale.
+func HumanLike(scale Scale, seed int64) *graph.Graph {
+	return Single("human-like", HumanLikeAt(scale), seed)
+}
+
+// WordnetLike generates the wordnet-shaped stored graph at the given scale.
+func WordnetLike(scale Scale, seed int64) *graph.Graph {
+	return Single("wordnet-like", WordnetLikeAt(scale), seed)
+}

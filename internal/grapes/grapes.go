@@ -1,0 +1,294 @@
+// Package grapes implements the Grapes indexed subgraph-query method
+// (Giugno et al., PLoS One 2013) as described in §3.1.1 of the paper:
+// simple paths up to a maximum length are extracted in a DFS manner from
+// every dataset graph and indexed in a trie together with location
+// information (which vertices each path touches). At query time the
+// query's maximal paths prune the dataset by presence and frequency; the
+// surviving graphs' location info yields the relevant connected components,
+// each of which is verified with VF2.
+//
+// Grapes is a multi-threaded design: both index construction (across
+// dataset graphs) and verification (across extracted components) use a
+// worker pool of configurable size — "Grapes/1" and "Grapes/4" in the
+// paper's figures are instances of this index with 1 and 4 workers.
+package grapes
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+// Options configures index construction and verification.
+type Options struct {
+	// MaxPathLen is the maximum path length (in edges) to index;
+	// defaults to ftv.DefaultMaxPathLen (4), the paper's setting.
+	MaxPathLen int
+	// Workers is the degree of parallelism for both index construction
+	// and per-query component verification; defaults to 1 (Grapes/1).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPathLen <= 0 {
+		o.MaxPathLen = ftv.DefaultMaxPathLen
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Index is a built Grapes index over a dataset. Safe for concurrent use.
+type Index struct {
+	ds   []*graph.Graph
+	opts Options
+	trie *pathTrie
+}
+
+// Build constructs the index, extracting features from dataset graphs with
+// opts.Workers parallel workers.
+func Build(ds []*graph.Graph, opts Options) *Index {
+	opts = opts.withDefaults()
+	x := &Index{ds: ds, opts: opts, trie: newPathTrie()}
+	results := make([]map[string]*ftv.PathFeature, len(ds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for id := range ds {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[id] = ftv.ExtractFeatures(ds[id], opts.MaxPathLen, true)
+		}(id)
+	}
+	wg.Wait()
+	for id, feats := range results {
+		x.trie.insert(id, feats)
+	}
+	return x
+}
+
+// Name implements ftv.Index: "Grapes/<workers>".
+func (x *Index) Name() string { return fmt.Sprintf("Grapes/%d", x.opts.Workers) }
+
+// Dataset implements ftv.Index.
+func (x *Index) Dataset() []*graph.Graph { return x.ds }
+
+// MaxPathLen returns the indexed path length.
+func (x *Index) MaxPathLen() int { return x.opts.MaxPathLen }
+
+// TrieNodes reports the size of the underlying trie (diagnostics).
+func (x *Index) TrieNodes() int { return x.trie.nodeCount() }
+
+// Filter implements ftv.Index: a graph survives iff it contains every
+// maximal path of the query at least as often as the query does.
+func (x *Index) Filter(q *graph.Graph) []int {
+	feats := ftv.QueryFeatures(q, x.opts.MaxPathLen)
+	if len(feats) == 0 {
+		// No path features (edgeless query): every graph is a candidate.
+		all := make([]int, len(x.ds))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var surviving map[int]bool
+	for _, f := range feats {
+		postings := x.trie.lookup(f.Labels)
+		if postings == nil {
+			return nil
+		}
+		next := make(map[int]bool)
+		for id, p := range postings {
+			if p.count >= f.Count && (surviving == nil || surviving[id]) {
+				next[id] = true
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		surviving = next
+	}
+	out := make([]int, 0, len(surviving))
+	for id := range surviving {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CandidateVertices returns the union of the location sets of the query's
+// maximal paths within dataset graph graphID — the vertices any embedding
+// of q in that graph must lie inside. The boolean is false when the graph
+// fails the filter (some path missing or too rare).
+func (x *Index) CandidateVertices(q *graph.Graph, graphID int) ([]int32, bool) {
+	feats := ftv.QueryFeatures(q, x.opts.MaxPathLen)
+	if len(feats) == 0 {
+		g := x.ds[graphID]
+		all := make([]int32, g.N())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return all, true
+	}
+	seen := make(map[int32]struct{})
+	for _, f := range feats {
+		postings := x.trie.lookup(f.Labels)
+		if postings == nil {
+			return nil, false
+		}
+		p := postings[graphID]
+		if p == nil || p.count < f.Count {
+			return nil, false
+		}
+		for _, v := range p.locations {
+			seen[v] = struct{}{}
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// Verify implements ftv.Index: it extracts the relevant connected components
+// of the candidate graph (via location information) and runs VF2 on each,
+// in parallel across opts.Workers workers, stopping at the first match —
+// matching the paper's modification of Grapes to "return after the first
+// match of the query graph".
+func (x *Index) Verify(ctx context.Context, q *graph.Graph, graphID int) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	g := x.ds[graphID]
+	if q.N() == 0 {
+		return true, nil
+	}
+	vertices, ok := x.CandidateVertices(q, graphID)
+	if !ok {
+		return false, nil
+	}
+	sub, _ := g.InducedSubgraph(g.Name()+"#cand", vertices)
+	// Disconnected queries cannot be confined to a single component.
+	if !q.IsConnected() {
+		return containsQ(ctx, q, sub)
+	}
+	comps := sub.ConnectedComponents()
+	// Components too small to host the query are skipped outright.
+	var work []*graph.Graph
+	for _, comp := range comps {
+		if len(comp) < q.N() {
+			continue
+		}
+		cg, _ := sub.InducedSubgraph("comp", comp)
+		if cg.M() < q.M() {
+			continue
+		}
+		work = append(work, cg)
+	}
+	if len(work) == 0 {
+		return false, nil
+	}
+	if x.opts.Workers == 1 || len(work) == 1 {
+		for _, cg := range work {
+			found, err := containsQ(ctx, q, cg)
+			if err != nil {
+				return false, err
+			}
+			if found {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return x.verifyParallel(ctx, q, work)
+}
+
+// verifyParallel races VF2 over components with a bounded worker pool; the
+// first success cancels the remaining work.
+func (x *Index) verifyParallel(ctx context.Context, q *graph.Graph, work []*graph.Graph) (bool, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		found bool
+		err   error
+	}
+	jobs := make(chan *graph.Graph)
+	results := make(chan outcome, len(work))
+	var wg sync.WaitGroup
+	for w := 0; w < x.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cg := range jobs {
+				found, err := containsQ(ctx, q, cg)
+				results <- outcome{found, err}
+				if found {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, cg := range work {
+			select {
+			case jobs <- cg:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	done := 0
+	var firstErr error
+	for done < len(work) {
+		select {
+		case r := <-results:
+			done++
+			if r.found {
+				return true, nil
+			}
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+		case <-ctx.Done():
+			// Workers will drain; if cancellation came from the parent
+			// context this is an error, otherwise a win already returned.
+			wg.Wait()
+			// Collect any straggler results already queued.
+			for {
+				select {
+				case r := <-results:
+					if r.found {
+						return true, nil
+					}
+				default:
+					return false, ctx.Err()
+				}
+			}
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return false, firstErr
+	}
+	return false, nil
+}
+
+func containsQ(ctx context.Context, q, g *graph.Graph) (bool, error) {
+	embs, err := vf2.Match(ctx, q, g, 1)
+	if err != nil {
+		return false, err
+	}
+	return len(embs) > 0, nil
+}

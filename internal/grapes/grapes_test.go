@@ -1,0 +1,345 @@
+package grapes
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+func smallDataset() []*graph.Graph {
+	return []*graph.Graph{
+		// 0: triangle of labels 0,1,2
+		graph.MustNew("g0", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}, {2, 0}}),
+		// 1: path 0-1-2-3 labels 0,1,2,0
+		graph.MustNew("g1", []graph.Label{0, 1, 2, 0}, [][2]int{{0, 1}, {1, 2}, {2, 3}}),
+		// 2: star center 1 with three 0-leaves
+		graph.MustNew("g2", []graph.Label{1, 0, 0, 0}, [][2]int{{0, 1}, {0, 2}, {0, 3}}),
+	}
+}
+
+func TestBuildAndName(t *testing.T) {
+	x := Build(smallDataset(), Options{Workers: 4})
+	if x.Name() != "Grapes/4" {
+		t.Errorf("Name = %q", x.Name())
+	}
+	if len(x.Dataset()) != 3 {
+		t.Error("Dataset")
+	}
+	if x.MaxPathLen() != ftv.DefaultMaxPathLen {
+		t.Errorf("MaxPathLen = %d", x.MaxPathLen())
+	}
+	if x.TrieNodes() <= 1 {
+		t.Error("trie should have nodes")
+	}
+}
+
+func TestFilterPresence(t *testing.T) {
+	x := Build(smallDataset(), Options{})
+	// query edge 0-1: present in all three graphs
+	q := graph.MustNew("q", []graph.Label{0, 1}, [][2]int{{0, 1}})
+	got := x.Filter(q)
+	if len(got) != 3 {
+		t.Errorf("Filter = %v, want all graphs", got)
+	}
+	// query path 0-1-2... wait labels: 0,1,2 chain exists in g0 and g1 only
+	q2 := graph.MustNew("q2", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}})
+	got2 := x.Filter(q2)
+	if len(got2) != 2 || got2[0] != 0 || got2[1] != 1 {
+		t.Errorf("Filter = %v, want [0 1]", got2)
+	}
+	// unknown label: no candidates
+	q3 := graph.MustNew("q3", []graph.Label{9, 9}, [][2]int{{0, 1}})
+	if got3 := x.Filter(q3); len(got3) != 0 {
+		t.Errorf("Filter = %v, want empty", got3)
+	}
+}
+
+func TestFilterFrequencyPruning(t *testing.T) {
+	x := Build(smallDataset(), Options{})
+	// query star with two 0-leaves on a 1-center: path 0-1 must occur at
+	// least twice. g2 (three leaves) qualifies; g0/g1 have the 0-1 path
+	// only once per direction.
+	q := graph.MustNew("q", []graph.Label{1, 0, 0}, [][2]int{{0, 1}, {0, 2}})
+	got := x.Filter(q)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("Filter = %v, want [2]", got)
+	}
+}
+
+func TestFilterEdgelessQuery(t *testing.T) {
+	x := Build(smallDataset(), Options{})
+	q := graph.MustNew("q", []graph.Label{0}, nil)
+	if got := x.Filter(q); len(got) != 3 {
+		t.Errorf("edgeless query: Filter = %v, want all graphs", got)
+	}
+}
+
+func TestCandidateVertices(t *testing.T) {
+	x := Build(smallDataset(), Options{})
+	q := graph.MustNew("q", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}})
+	verts, ok := x.CandidateVertices(q, 1)
+	if !ok {
+		t.Fatal("g1 must pass the filter")
+	}
+	// g1 = 0(0)-1(1)-2(2)-3(0): path 0,1,2 occurrence = vertices {0,1,2};
+	// reverse path 2,1,0 also maximal in query => locations include {0,1,2}
+	// (path 2-1-0 in g1: vertices 2,1,0) — vertex 3 appears via 3(0)-2(2)?
+	// No: query maximal label paths are (0,1,2) and (2,1,0); g1 occurrence
+	// of (2,1,0): vertices 2,1,0 only. But (0,1,2) also matches 3? Vertex 3
+	// has label 0 and neighbor 2 has label 2, not 1 — no.
+	if len(verts) != 3 {
+		t.Errorf("candidate vertices = %v, want {0,1,2}", verts)
+	}
+	_, ok = x.CandidateVertices(q, 2)
+	if ok {
+		t.Error("g2 must fail the filter for the 0-1-2 chain")
+	}
+}
+
+func TestVerifyDecision(t *testing.T) {
+	ds := smallDataset()
+	for _, workers := range []int{1, 4} {
+		x := Build(ds, Options{Workers: workers})
+		q := graph.MustNew("q", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}})
+		for id, want := range []bool{true, true, false} {
+			if want && !contains(x.Filter(q), id) {
+				t.Fatalf("graph %d should pass filter", id)
+			}
+			if contains(x.Filter(q), id) {
+				got, err := x.Verify(context.Background(), q, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("workers=%d graph %d: Verify = %v, want %v", workers, id, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAnswerMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := randomDataset(r, 6, 12, 3)
+		x := Build(ds, Options{Workers: 2, MaxPathLen: 3})
+		q := extractQuery(r, ds[r.Intn(len(ds))], 2+r.Intn(4))
+		got, err := ftv.Answer(context.Background(), x, q)
+		if err != nil {
+			return false
+		}
+		want := bruteForceAnswer(ds, q)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Filter soundness: a graph that contains the query must never be pruned.
+func TestFilterNoFalseNegatives(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := randomDataset(r, 5, 14, 3)
+		x := Build(ds, Options{MaxPathLen: 4})
+		src := r.Intn(len(ds))
+		q := extractQuery(r, ds[src], 2+r.Intn(5))
+		return contains(x.Filter(q), src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyDisconnectedQuery(t *testing.T) {
+	ds := []*graph.Graph{
+		graph.MustNew("g", []graph.Label{0, 1, 0, 1}, [][2]int{{0, 1}, {2, 3}}),
+	}
+	x := Build(ds, Options{})
+	q := graph.MustNew("q", []graph.Label{0, 1, 0, 1}, [][2]int{{0, 1}, {2, 3}})
+	ok, err := x.Verify(context.Background(), q, 0)
+	if err != nil || !ok {
+		t.Errorf("disconnected query should verify: %v %v", ok, err)
+	}
+}
+
+func TestVerifyCancelled(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	ds := []*graph.Graph{randomGraphDense(r, 60, 0.3)}
+	x := Build(ds, Options{MaxPathLen: 2})
+	q := extractQuery(r, ds[0], 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := x.Verify(ctx, q, 0); err == nil {
+		t.Error("expected context error")
+	}
+}
+
+func TestParallelVerifyAgreesWithSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	// dataset graph with several components
+	b := graph.NewBuilder("multi")
+	for c := 0; c < 4; c++ {
+		base := b.N()
+		for i := 0; i < 8; i++ {
+			b.AddVertex(graph.Label(r.Intn(2)))
+		}
+		for i := 1; i < 8; i++ {
+			if err := b.AddEdge(base+r.Intn(i), base+i); err != nil {
+				panic(err)
+			}
+		}
+	}
+	g := b.MustBuild()
+	ds := []*graph.Graph{g}
+	x1 := Build(ds, Options{Workers: 1})
+	x4 := Build(ds, Options{Workers: 4})
+	for trial := 0; trial < 10; trial++ {
+		q := extractQuery(r, g, 2+r.Intn(3))
+		if !contains(x1.Filter(q), 0) {
+			t.Fatal("source graph must pass filter")
+		}
+		a, err1 := x1.Verify(context.Background(), q, 0)
+		bb, err2 := x4.Verify(context.Background(), q, 0)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a != bb {
+			t.Errorf("trial %d: Grapes/1 = %v, Grapes/4 = %v", trial, a, bb)
+		}
+		if !a {
+			t.Errorf("trial %d: extracted query must be contained", trial)
+		}
+	}
+}
+
+func contains(ids []int, id int) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func bruteForceAnswer(ds []*graph.Graph, q *graph.Graph) []int {
+	var out []int
+	for id, g := range ds {
+		embs, err := vf2.Match(context.Background(), q, g, 1)
+		if err != nil {
+			panic(err)
+		}
+		if len(embs) > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func randomDataset(r *rand.Rand, numGraphs, n, labels int) []*graph.Graph {
+	ds := make([]*graph.Graph, numGraphs)
+	for i := range ds {
+		b := graph.NewBuilder("g")
+		for v := 0; v < n; v++ {
+			b.AddVertex(graph.Label(r.Intn(labels)))
+		}
+		for v := 1; v < n; v++ {
+			if err := b.AddEdge(r.Intn(v), v); err != nil {
+				panic(err)
+			}
+		}
+		for e := 0; e < n/2; e++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !b.HasEdgePending(u, v) {
+				if err := b.AddEdge(u, v); err != nil {
+					panic(err)
+				}
+			}
+		}
+		ds[i] = b.MustBuild()
+	}
+	return ds
+}
+
+func randomGraphDense(r *rand.Rand, n int, p float64) *graph.Graph {
+	b := graph.NewBuilder("dense")
+	for v := 0; v < n; v++ {
+		b.AddVertex(0)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				if err := b.AddEdge(u, v); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func extractQuery(r *rand.Rand, g *graph.Graph, wantEdges int) *graph.Graph {
+	start := r.Intn(g.N())
+	inQ := map[int32]bool{int32(start): true}
+	type edge struct{ u, v int32 }
+	var qEdges []edge
+	has := func(a, b int32) bool {
+		for _, e := range qEdges {
+			if (e.u == a && e.v == b) || (e.u == b && e.v == a) {
+				return true
+			}
+		}
+		return false
+	}
+	for len(qEdges) < wantEdges {
+		var frontier []edge
+		for v := range inQ {
+			for _, w := range g.Neighbors(int(v)) {
+				if !has(v, w) {
+					frontier = append(frontier, edge{v, w})
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		e := frontier[r.Intn(len(frontier))]
+		qEdges = append(qEdges, e)
+		inQ[e.u] = true
+		inQ[e.v] = true
+	}
+	ids := make([]int32, 0, len(inQ))
+	for v := range inQ {
+		ids = append(ids, v)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	old2new := make(map[int32]int, len(ids))
+	b := graph.NewBuilder("q")
+	for i, v := range ids {
+		old2new[v] = i
+		b.AddVertex(g.Label(int(v)))
+	}
+	for _, e := range qEdges {
+		if err := b.AddEdge(old2new[e.u], old2new[e.v]); err != nil {
+			panic(err)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,79 @@
+package grapes
+
+import (
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+// posting records, for one (path, graph) pair, how many directed occurrences
+// of the path the graph has, and (Grapes' distinguishing feature) which
+// vertices those occurrences touch.
+type posting struct {
+	count     int32
+	locations []int32 // sorted unique vertex IDs
+}
+
+// trieNode is one node of the label-path trie. The path from the root to a
+// node spells a label sequence; postings map graph IDs to that sequence's
+// occurrences in the graph.
+type trieNode struct {
+	children map[graph.Label]*trieNode
+	postings map[int]*posting
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{children: make(map[graph.Label]*trieNode)}
+}
+
+// pathTrie indexes label sequences of length 1..maxLen edges (i.e. 2..
+// maxLen+1 labels).
+type pathTrie struct {
+	root *trieNode
+}
+
+func newPathTrie() *pathTrie { return &pathTrie{root: newTrieNode()} }
+
+// insert merges one graph's extracted features into the trie.
+func (t *pathTrie) insert(graphID int, feats map[string]*ftv.PathFeature) {
+	for _, f := range feats {
+		node := t.root
+		for _, l := range f.Labels {
+			child := node.children[l]
+			if child == nil {
+				child = newTrieNode()
+				node.children[l] = child
+			}
+			node = child
+		}
+		if node.postings == nil {
+			node.postings = make(map[int]*posting)
+		}
+		node.postings[graphID] = &posting{count: f.Count, locations: f.Locations}
+	}
+}
+
+// lookup returns the postings for an exact label sequence, or nil if the
+// sequence is not indexed.
+func (t *pathTrie) lookup(labels []graph.Label) map[int]*posting {
+	node := t.root
+	for _, l := range labels {
+		node = node.children[l]
+		if node == nil {
+			return nil
+		}
+	}
+	return node.postings
+}
+
+// nodeCount reports the number of trie nodes (diagnostics/tests).
+func (t *pathTrie) nodeCount() int {
+	var walk func(n *trieNode) int
+	walk = func(n *trieNode) int {
+		c := 1
+		for _, ch := range n.children {
+			c += walk(ch)
+		}
+		return c
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,230 @@
+// Package graph provides the labeled-graph substrate shared by every
+// component of the Ψ-framework reproduction: an immutable, vertex-labeled,
+// undirected graph with sorted adjacency lists, plus construction,
+// permutation, traversal, component, statistics, and serialization helpers.
+//
+// Vertices are identified by dense integer IDs in [0, N). Following the
+// paper (Katsarou et al., EDBT 2017), node IDs are semantically meaningful:
+// the query rewritings of §6 are pure node-ID permutations, and the matching
+// algorithms break ties by node ID, which is exactly why isomorphic queries
+// exhibit different running times.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Label is a vertex label. The paper's datasets use small label alphabets
+// (5–184 distinct labels), so a 32-bit integer is ample.
+type Label int32
+
+// Graph is an immutable labeled undirected simple graph. Both vertices and
+// edges carry labels (Definition 1 of the paper); edge labels default to 0,
+// which makes edge-unlabeled graphs a special case with zero overhead in
+// the matching algorithms.
+//
+// The zero value is an empty graph. Construct non-trivial graphs with a
+// Builder or with New. All accessors are safe for concurrent use because
+// the structure is never mutated after construction.
+type Graph struct {
+	name   string
+	labels []Label
+	adj    [][]int32 // sorted neighbor lists
+	elab   [][]Label // elab[v][i] labels the edge {v, adj[v][i]}
+	m      int       // number of undirected edges
+	maxLbl Label     // largest vertex label present, -1 if none
+}
+
+// New constructs a graph directly from a label slice and an edge list.
+// It is a convenience wrapper around Builder for tests and examples.
+// Duplicate edges are rejected; self-loops are rejected.
+func New(name string, labels []Label, edges [][2]int) (*Graph, error) {
+	b := NewBuilder(name)
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// MustNew is New but panics on error; intended for tests and package-level
+// example fixtures where the input is a literal.
+func MustNew(name string, labels []Label, edges [][2]int) *Graph {
+	g, err := New(name, labels, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name returns the graph's identifier (dataset-graph name or query id).
+func (g *Graph) Name() string { return g.name }
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.labels) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Label returns the label of vertex v.
+func (g *Graph) Label(v int) Label { return g.labels[v] }
+
+// Labels returns the underlying label slice. Callers must not modify it.
+func (g *Graph) Labels() []Label { return g.labels }
+
+// MaxLabel returns the largest label value present, or -1 for an unlabeled
+// (empty) graph. Useful for sizing frequency tables.
+func (g *Graph) MaxLabel() Label { return g.maxLbl }
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. Callers must not modify
+// the returned slice; it aliases the graph's internal storage.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+// It runs in O(log deg(u)) via binary search on the sorted adjacency list.
+func (g *Graph) HasEdge(u, v int) bool {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	return i < len(a) && a[i] == int32(v)
+}
+
+// EdgeLabel returns the label of edge {u, v}, or -1 if the edge is absent.
+func (g *Graph) EdgeLabel(u, v int) Label {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	if i < len(a) && a[i] == int32(v) {
+		return g.elab[u][i]
+	}
+	return -1
+}
+
+// HasEdgeLabeled reports whether edge {u, v} exists with label l — the
+// compatibility check matchers use when mapping a query edge onto a stored
+// edge (Definition 3 requires L(e) to be preserved).
+func (g *Graph) HasEdgeLabeled(u, v int, l Label) bool {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	return i < len(a) && a[i] == int32(v) && g.elab[u][i] == l
+}
+
+// EdgeLabels reports the neighbor-aligned edge labels of v: entry i labels
+// the edge to Neighbors(v)[i]. Callers must not modify the slice.
+func (g *Graph) EdgeLabels(v int) []Label { return g.elab[v] }
+
+// HasEdgeLabelsBeyondDefault reports whether any edge carries a non-zero
+// label; indexes use it to decide whether edge-label pruning can pay off.
+func (g *Graph) HasEdgeLabelsBeyondDefault() bool {
+	for _, ls := range g.elab {
+		for _, l := range ls {
+			if l != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Edges calls fn once per undirected edge with u < v. Iteration order is
+// deterministic (ascending u, then ascending v).
+func (g *Graph) Edges(fn func(u, v int)) {
+	for u := range g.adj {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				fn(u, int(w))
+			}
+		}
+	}
+}
+
+// LabeledEdges calls fn once per undirected edge with u < v and the edge's
+// label.
+func (g *Graph) LabeledEdges(fn func(u, v int, l Label)) {
+	for u := range g.adj {
+		for i, w := range g.adj[u] {
+			if int(w) > u {
+				fn(u, int(w), g.elab[u][i])
+			}
+		}
+	}
+}
+
+// EdgeList materializes the edge list with u < v in deterministic order.
+func (g *Graph) EdgeList() [][2]int {
+	out := make([][2]int, 0, g.m)
+	g.Edges(func(u, v int) { out = append(out, [2]int{u, v}) })
+	return out
+}
+
+// LabelFrequencies returns a map from label to the number of vertices
+// carrying it.
+func (g *Graph) LabelFrequencies() map[Label]int {
+	f := make(map[Label]int)
+	for _, l := range g.labels {
+		f[l]++
+	}
+	return f
+}
+
+// DistinctLabels returns the number of distinct vertex labels.
+func (g *Graph) DistinctLabels() int { return len(g.LabelFrequencies()) }
+
+// VerticesByLabel returns, for each label, the ascending list of vertices
+// carrying it. This is the basic inverted index every NFV method starts from.
+func (g *Graph) VerticesByLabel() map[Label][]int32 {
+	idx := make(map[Label][]int32)
+	for v, l := range g.labels {
+		idx[l] = append(idx[l], int32(v))
+	}
+	return idx
+}
+
+// String implements fmt.Stringer with a compact one-line summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph %q: n=%d m=%d labels=%d", g.name, g.N(), g.M(), g.DistinctLabels())
+}
+
+// Clone returns a deep copy with the given name. Cloning is rarely needed
+// (graphs are immutable) but supports renaming dataset entries.
+func (g *Graph) Clone(name string) *Graph {
+	labels := make([]Label, len(g.labels))
+	copy(labels, g.labels)
+	adj := make([][]int32, len(g.adj))
+	elab := make([][]Label, len(g.elab))
+	for i, a := range g.adj {
+		adj[i] = make([]int32, len(a))
+		copy(adj[i], a)
+		elab[i] = make([]Label, len(g.elab[i]))
+		copy(elab[i], g.elab[i])
+	}
+	return &Graph{name: name, labels: labels, adj: adj, elab: elab, m: g.m, maxLbl: g.maxLbl}
+}
+
+// Equal reports whether g and h are identical as labeled graphs on the same
+// vertex numbering (not mere isomorphism), including edge labels.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	for v := range g.labels {
+		if g.labels[v] != h.labels[v] {
+			return false
+		}
+		if len(g.adj[v]) != len(h.adj[v]) {
+			return false
+		}
+		for i := range g.adj[v] {
+			if g.adj[v][i] != h.adj[v][i] || g.elab[v][i] != h.elab[v][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

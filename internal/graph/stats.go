@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Stats summarizes a single graph, mirroring the rows of Tables 1 and 2 of
+// the paper (node/edge counts, density, degree and label statistics).
+type Stats struct {
+	Name          string
+	Nodes         int
+	Edges         int
+	AvgDegree     float64
+	StdDevDegree  float64
+	Density       float64 // 2m / (n(n-1))
+	Labels        int     // distinct labels
+	AvgLabelFreq  float64
+	StdDevLblFreq float64
+	Connected     bool
+}
+
+// ComputeStats derives Stats for g.
+func ComputeStats(g *Graph) Stats {
+	n := g.N()
+	s := Stats{Name: g.Name(), Nodes: n, Edges: g.M(), Connected: g.IsConnected()}
+	if n > 0 {
+		degs := make([]float64, n)
+		for v := 0; v < n; v++ {
+			degs[v] = float64(g.Degree(v))
+		}
+		s.AvgDegree, s.StdDevDegree = meanStd(degs)
+	}
+	if n > 1 {
+		s.Density = 2 * float64(g.M()) / (float64(n) * float64(n-1))
+	}
+	freq := g.LabelFrequencies()
+	s.Labels = len(freq)
+	if len(freq) > 0 {
+		fs := make([]float64, 0, len(freq))
+		for _, c := range freq {
+			fs = append(fs, float64(c))
+		}
+		s.AvgLabelFreq, s.StdDevLblFreq = meanStd(fs)
+	}
+	return s
+}
+
+// DatasetStats summarizes a multi-graph dataset, mirroring Table 1.
+type DatasetStats struct {
+	Name            string
+	NumGraphs       int
+	NumDisconnected int
+	Labels          int // distinct labels across the dataset
+	AvgNodes        float64
+	StdDevNodes     float64
+	AvgEdges        float64
+	AvgDensity      float64
+	AvgDegree       float64
+	AvgLabels       float64 // avg distinct labels per graph
+}
+
+// ComputeDatasetStats derives DatasetStats for a dataset of graphs.
+func ComputeDatasetStats(name string, graphs []*Graph) DatasetStats {
+	ds := DatasetStats{Name: name, NumGraphs: len(graphs)}
+	all := make(map[Label]struct{})
+	var nodes, edges, density, degree, labels []float64
+	for _, g := range graphs {
+		st := ComputeStats(g)
+		if !st.Connected {
+			ds.NumDisconnected++
+		}
+		nodes = append(nodes, float64(st.Nodes))
+		edges = append(edges, float64(st.Edges))
+		density = append(density, st.Density)
+		degree = append(degree, st.AvgDegree)
+		labels = append(labels, float64(st.Labels))
+		for l := range g.LabelFrequencies() {
+			all[l] = struct{}{}
+		}
+	}
+	ds.Labels = len(all)
+	ds.AvgNodes, ds.StdDevNodes = meanStd(nodes)
+	ds.AvgEdges, _ = meanStd(edges)
+	ds.AvgDensity, _ = meanStd(density)
+	ds.AvgDegree, _ = meanStd(degree)
+	ds.AvgLabels, _ = meanStd(labels)
+	return ds
+}
+
+// String renders the dataset statistics as a small table in the spirit of
+// Table 1 of the paper.
+func (ds DatasetStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset %s\n", ds.Name)
+	fmt.Fprintf(&b, "  #graphs              %d\n", ds.NumGraphs)
+	fmt.Fprintf(&b, "  #disconnected graphs %d\n", ds.NumDisconnected)
+	fmt.Fprintf(&b, "  #labels              %d\n", ds.Labels)
+	fmt.Fprintf(&b, "  avg #nodes           %.1f\n", ds.AvgNodes)
+	fmt.Fprintf(&b, "  stddev #nodes        %.1f\n", ds.StdDevNodes)
+	fmt.Fprintf(&b, "  avg #edges           %.1f\n", ds.AvgEdges)
+	fmt.Fprintf(&b, "  avg density          %.4f\n", ds.AvgDensity)
+	fmt.Fprintf(&b, "  avg degree           %.2f\n", ds.AvgDegree)
+	fmt.Fprintf(&b, "  avg #labels          %.1f", ds.AvgLabels)
+	return b.String()
+}
+
+// String renders single-graph statistics as the Table 2 rows.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s\n", s.Name)
+	fmt.Fprintf(&b, "  #nodes                 %d\n", s.Nodes)
+	fmt.Fprintf(&b, "  #edges                 %d\n", s.Edges)
+	fmt.Fprintf(&b, "  avg degree             %.2f\n", s.AvgDegree)
+	fmt.Fprintf(&b, "  stddev degree          %.2f\n", s.StdDevDegree)
+	fmt.Fprintf(&b, "  density                %.6f\n", s.Density)
+	fmt.Fprintf(&b, "  #labels                %d\n", s.Labels)
+	fmt.Fprintf(&b, "  avg frequency labels   %.1f\n", s.AvgLabelFreq)
+	fmt.Fprintf(&b, "  stddev frequency labels %.1f", s.StdDevLblFreq)
+	return b.String()
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) == 1 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}

@@ -1,0 +1,172 @@
+package graph
+
+import "sort"
+
+// BFSDistances returns the shortest-path distance (in edges) from src to
+// every vertex, with -1 for unreachable vertices. maxDepth < 0 means
+// unbounded; otherwise exploration stops after maxDepth levels.
+func (g *Graph) BFSDistances(src, maxDepth int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if maxDepth >= 0 && dist[v] >= maxDepth {
+			continue
+		}
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted ascending, in order of their smallest vertex.
+func (g *Graph) ConnectedComponents() [][]int32 {
+	seen := make([]bool, g.N())
+	var comps [][]int32
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int32
+		stack := []int32{int32(s)}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sortInt32(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph has exactly one connected component
+// (the empty graph counts as connected).
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	return len(g.ConnectedComponents()) == 1
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices along
+// with the mapping from new vertex IDs to the original IDs. The vertex list
+// may be unsorted; duplicates are rejected implicitly by the builder
+// producing duplicate edges only if input has duplicates, so callers should
+// pass distinct vertices.
+func (g *Graph) InducedSubgraph(name string, vertices []int32) (*Graph, []int32) {
+	old2new := make(map[int32]int32, len(vertices))
+	new2old := make([]int32, len(vertices))
+	b := NewBuilder(name)
+	for i, v := range vertices {
+		old2new[v] = int32(i)
+		new2old[i] = v
+		b.AddVertex(g.labels[v])
+	}
+	for _, v := range vertices {
+		for i, w := range g.adj[v] {
+			if nw, ok := old2new[w]; ok && w > v {
+				// Safe: endpoints exist and are distinct by construction.
+				_ = b.AddLabeledEdge(int(old2new[v]), int(nw), g.elab[v][i])
+			}
+		}
+	}
+	sub := b.MustBuild()
+	return sub, new2old
+}
+
+// EnumeratePaths performs a DFS from every vertex and invokes visit once per
+// simple path of 1..maxEdges edges, passing the vertex sequence. The slice
+// passed to visit is reused across calls; callers must copy it if retained.
+// This is the feature-extraction primitive of Grapes and GGSX (§3.1.1: paths
+// are searched in a DFS manner up to a maximum length).
+func (g *Graph) EnumeratePaths(maxEdges int, visit func(path []int32)) {
+	onPath := make([]bool, g.N())
+	path := make([]int32, 0, maxEdges+1)
+	var dfs func(v int32)
+	dfs = func(v int32) {
+		onPath[v] = true
+		path = append(path, v)
+		if len(path) > 1 {
+			visit(path)
+		}
+		if len(path) <= maxEdges {
+			for _, w := range g.adj[v] {
+				if !onPath[w] {
+					dfs(w)
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[v] = false
+	}
+	for v := 0; v < g.N(); v++ {
+		dfs(int32(v))
+	}
+}
+
+// MaximalPaths returns the label sequences of DFS paths that are maximal,
+// i.e. paths that cannot be extended (either every neighbor of the last
+// vertex is already on the path, or the path has reached maxEdges edges).
+// Grapes/GGSX query processing extracts exactly these from the query graph.
+// The returned slices are freshly allocated vertex sequences.
+func (g *Graph) MaximalPaths(maxEdges int) [][]int32 {
+	var out [][]int32
+	onPath := make([]bool, g.N())
+	path := make([]int32, 0, maxEdges+1)
+	var dfs func(v int32)
+	dfs = func(v int32) {
+		onPath[v] = true
+		path = append(path, v)
+		extended := false
+		if len(path) <= maxEdges {
+			for _, w := range g.adj[v] {
+				if !onPath[w] {
+					extended = true
+					dfs(w)
+				}
+			}
+		}
+		if !extended && len(path) > 1 {
+			cp := make([]int32, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+		}
+		path = path[:len(path)-1]
+		onPath[v] = false
+	}
+	for v := 0; v < g.N(); v++ {
+		dfs(int32(v))
+	}
+	return out
+}
+
+// LabelPath converts a vertex path into its label sequence.
+func (g *Graph) LabelPath(path []int32) []Label {
+	out := make([]Label, len(path))
+	for i, v := range path {
+		out[i] = g.labels[v]
+	}
+	return out
+}
+
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

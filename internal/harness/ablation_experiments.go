@@ -1,0 +1,135 @@
+package harness
+
+// Ablations beyond the paper's artifacts (DESIGN.md §7): quantifying the
+// Ψ-framework's racing overhead, and pitting always-racing against the §9
+// future-work idea of predicting the winning variant per query.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/psi-graph/psi/internal/core"
+	"github.com/psi-graph/psi/internal/match"
+	"github.com/psi-graph/psi/internal/predict"
+	"github.com/psi-graph/psi/internal/rewrite"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation1",
+		Title: "Ablation: racing overhead vs thread count (k identical attempts)",
+		Run:   runAblationOverhead,
+	})
+	register(Experiment{
+		ID:    "ablation2",
+		Title: "Ablation: adaptive variant prediction (§9) vs always racing",
+		Run:   runAblationPredictor,
+	})
+}
+
+// runAblationOverhead races k copies of the same VF2 attempt on the same
+// easy query; any time beyond the k=1 row is pure instantiation +
+// synchronization overhead (§8: "the instantiation and synchronization of
+// many threads come with a non-trivial overhead").
+func runAblationOverhead(e *Env, w io.Writer) error {
+	g := e.NFVGraph("yeast")
+	racer := core.NewRacer(g)
+	q := e.NFVWorkload("yeast")[0].Graph
+	const reps = 200
+	t := Table{
+		Title:  "median wall time of a race with k identical VF2 attempts (easy query)",
+		Header: []string{"k", "median", "overhead vs k=1"},
+		Note:   fmt.Sprintf("%d repetitions per row; overhead explains sub-1 speedups on µs-scale workloads", reps),
+	}
+	var base time.Duration
+	for _, k := range []int{1, 2, 4, 8} {
+		attempts := make([]core.Attempt, k)
+		for i := range attempts {
+			attempts[i] = core.Attempt{Matcher: vf2.New(g), Rewriting: rewrite.Orig}
+		}
+		times := make([]time.Duration, reps)
+		for i := range times {
+			start := time.Now()
+			if _, err := racer.Race(context.Background(), q, 1, attempts); err != nil {
+				return err
+			}
+			times[i] = time.Since(start)
+		}
+		med := medianDuration(times)
+		if k == 1 {
+			base = med
+		}
+		t.AddRow(fmt.Sprintf("%d", k), fmtDur(med), fmtDur(med-base))
+	}
+	return t.Render(w)
+}
+
+// runAblationPredictor compares three policies on the yeast workload:
+// always one algorithm, always racing the full portfolio, and the adaptive
+// predictor (race during warm-up, then run only the predicted attempt with
+// a race fallback).
+func runAblationPredictor(e *Env, w io.Writer) error {
+	racer := &core.Racer{Frequencies: e.NFVFrequencies("yeast")}
+	matchers := []match.Matcher{e.NFVMatcher("yeast", "GQL"), e.NFVMatcher("yeast", "SPA")}
+	attempts := core.Portfolio(matchers, []rewrite.Kind{rewrite.Orig, rewrite.DND})
+	adaptive := predict.NewAdaptiveMatcher("Ψ-adaptive", racer, attempts)
+	adaptive.SoloBudget = e.Cfg.Cap / 4
+
+	queries := e.NFVWorkload("yeast")
+	budget := e.Cfg.Budget()
+	policies := []struct {
+		name string
+		run  func(ctx context.Context, q int) error
+	}{
+		{"GQL alone", func(ctx context.Context, i int) error {
+			_, err := matchers[0].Match(ctx, queries[i].Graph, e.Cfg.EmbedLimit)
+			return err
+		}},
+		{"Ψ race (4 attempts)", func(ctx context.Context, i int) error {
+			_, err := racer.Race(ctx, queries[i].Graph, e.Cfg.EmbedLimit, attempts)
+			return err
+		}},
+		{"Ψ-adaptive (predict+fallback)", func(ctx context.Context, i int) error {
+			_, err := adaptive.Match(ctx, queries[i].Graph, e.Cfg.EmbedLimit)
+			return err
+		}},
+	}
+	t := Table{
+		Title:  "policy comparison on the yeast workload (matching, 1000-embedding cap)",
+		Header: []string{"policy", "total", "killed", "avg/query"},
+		Note:   "adaptive = race first 8 queries to train a k-NN model, then run only the predicted attempt, re-racing when it overruns its budget",
+	}
+	for _, p := range policies {
+		var total time.Duration
+		killed := 0
+		for i := range queries {
+			tm := budget.Run(context.Background(), func(ctx context.Context) error { return p.run(ctx, i) })
+			if tm.Killed {
+				killed++
+			}
+			total += tm.Elapsed
+		}
+		t.AddRow(p.name, fmtDur(total), fmt.Sprintf("%d", killed),
+			fmtDur(total/time.Duration(len(queries))))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	seen, solo, fell := adaptive.Stats()
+	_, err := fmt.Fprintf(w, "adaptive stats: %d queries, %d solo predictions, %d fallback races, %d model samples\n\n",
+		seen, solo, fell, adaptive.Model.Samples())
+	return err
+}
+
+func medianDuration(ts []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ts...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,160 @@
+// Package match defines the contract shared by all subgraph-isomorphism
+// algorithms in this repository (VF2, QuickSI, GraphQL, sPath and the naive
+// reference matcher), plus the cooperative-cancellation budget that lets the
+// Ψ-framework kill losing attempts promptly.
+//
+// All matchers solve non-induced subgraph isomorphism on vertex-labeled
+// undirected graphs (Definition 3 of the paper): an injective mapping from
+// query vertices to stored-graph vertices preserving labels and mapping
+// every query edge onto a stored-graph edge.
+package match
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+// Embedding maps each query vertex (by index) to a stored-graph vertex.
+type Embedding []int32
+
+// Clone returns a copy of the embedding.
+func (e Embedding) Clone() Embedding {
+	c := make(Embedding, len(e))
+	copy(c, e)
+	return c
+}
+
+// Matcher matches query graphs against the stored graph it was constructed
+// on. Implementations preprocess the stored graph at construction time (the
+// "indexing phase" of the NFV methods, §3.1.2) and may be used concurrently
+// by multiple goroutines once built.
+type Matcher interface {
+	// Name returns the algorithm's name as used in the paper's figures
+	// (e.g. "GQL", "SPA", "QSI", "VF2").
+	Name() string
+
+	// Match returns up to limit embeddings of q in the stored graph.
+	// limit <= 0 requests a decision: stop after the first embedding.
+	// Match must poll ctx and return ctx.Err() promptly when cancelled;
+	// any embeddings found before cancellation are discarded.
+	Match(ctx context.Context, q *graph.Graph, limit int) ([]Embedding, error)
+}
+
+// NormalizeLimit converts the caller's limit into the effective embedding
+// cap: decisions (limit <= 0) stop at the first embedding.
+func NormalizeLimit(limit int) int {
+	if limit <= 0 {
+		return 1
+	}
+	return limit
+}
+
+// pollInterval is how many search steps pass between context polls. Small
+// enough that a straggler attempt dies within microseconds of cancellation,
+// large enough that polling cost is negligible.
+const pollInterval = 256
+
+// Budget provides amortized context-cancellation checks to search loops.
+type Budget struct {
+	ctx     context.Context
+	counter uint32
+}
+
+// NewBudget wraps ctx for use inside a matcher's recursion.
+func NewBudget(ctx context.Context) *Budget { return &Budget{ctx: ctx} }
+
+// Step counts one unit of search work and returns a non-nil error if the
+// context has been cancelled or its deadline exceeded. It checks the
+// context once every pollInterval steps.
+func (b *Budget) Step() error {
+	b.counter++
+	if b.counter%pollInterval == 0 {
+		return b.ctx.Err()
+	}
+	return nil
+}
+
+// Steps reports how many steps have been counted; used by tests and by the
+// instrumentation in the harness.
+func (b *Budget) Steps() uint32 { return b.counter }
+
+// VerifyEmbedding checks that emb is a valid non-induced subgraph
+// isomorphism of q into g: correct length, injective, label-preserving and
+// edge-preserving. Matcher tests and the Ψ-framework's paranoid mode use it
+// to validate winners.
+func VerifyEmbedding(q, g *graph.Graph, emb Embedding) error {
+	if len(emb) != q.N() {
+		return fmt.Errorf("embedding has %d entries, query has %d vertices", len(emb), q.N())
+	}
+	seen := make(map[int32]int, len(emb))
+	for u, v := range emb {
+		if v < 0 || int(v) >= g.N() {
+			return fmt.Errorf("query vertex %d mapped to out-of-range vertex %d", u, v)
+		}
+		if prev, dup := seen[v]; dup {
+			return fmt.Errorf("vertices %d and %d both mapped to %d (not injective)", prev, u, v)
+		}
+		seen[v] = u
+		if q.Label(u) != g.Label(int(v)) {
+			return fmt.Errorf("label mismatch at query vertex %d: %d vs %d", u, q.Label(u), g.Label(int(v)))
+		}
+	}
+	var bad error
+	q.LabeledEdges(func(a, b int, l graph.Label) {
+		if bad == nil && !g.HasEdgeLabeled(int(emb[a]), int(emb[b]), l) {
+			bad = fmt.Errorf("query edge (%d,%d) with label %d not mapped to a same-labeled graph edge", a, b, l)
+		}
+	})
+	return bad
+}
+
+// errStop is the internal sentinel used by backtracking searches to unwind
+// once the embedding limit has been reached. It never escapes a Match call.
+var errStop = fmt.Errorf("match: embedding limit reached")
+
+// Collector accumulates embeddings up to a limit, handing searches a single
+// Found callback and translating "limit reached" into errStop.
+type Collector struct {
+	limit int
+	out   []Embedding
+}
+
+// NewCollector returns a collector for up to limit embeddings (after
+// NormalizeLimit).
+func NewCollector(limit int) *Collector {
+	return &Collector{limit: NormalizeLimit(limit)}
+}
+
+// Found records a copy of emb. It returns errStop when the limit is hit,
+// which the search must propagate upward to terminate.
+func (c *Collector) Found(emb Embedding) error {
+	c.out = append(c.out, emb.Clone())
+	if len(c.out) >= c.limit {
+		return errStop
+	}
+	return nil
+}
+
+// Done reports whether the limit has been reached.
+func (c *Collector) Done() bool { return len(c.out) >= c.limit }
+
+// Results returns the accumulated embeddings.
+func (c *Collector) Results() []Embedding { return c.out }
+
+// Finish converts a search's terminal error into the Match return
+// convention: errStop means a successful, limit-capped run.
+func (c *Collector) Finish(err error) ([]Embedding, error) {
+	if err != nil && err != errStop {
+		return nil, err
+	}
+	return c.out, nil
+}
+
+// IsStop reports whether err is the internal limit sentinel. Exposed for
+// matcher implementations in sibling packages.
+func IsStop(err error) bool { return err == errStop }
+
+// Stop returns the limit sentinel for matcher implementations.
+func Stop() error { return errStop }

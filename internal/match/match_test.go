@@ -1,0 +1,128 @@
+package match
+
+import (
+	"context"
+	"testing"
+
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+func TestNormalizeLimit(t *testing.T) {
+	cases := map[int]int{-5: 1, 0: 1, 1: 1, 7: 7, 1000: 1000}
+	for in, want := range cases {
+		if got := NormalizeLimit(in); got != want {
+			t.Errorf("NormalizeLimit(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestBudgetStepPollsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewBudget(ctx)
+	for i := 0; i < 100; i++ {
+		if err := b.Step(); err != nil {
+			t.Fatalf("unexpected error before cancel: %v", err)
+		}
+	}
+	cancel()
+	var got error
+	for i := 0; i < 1000; i++ {
+		if err := b.Step(); err != nil {
+			got = err
+			break
+		}
+	}
+	if got != context.Canceled {
+		t.Errorf("expected context.Canceled within a poll interval, got %v", got)
+	}
+	if b.Steps() == 0 {
+		t.Error("Steps should count")
+	}
+}
+
+func TestCollectorLimit(t *testing.T) {
+	c := NewCollector(2)
+	if c.Done() {
+		t.Error("fresh collector should not be done")
+	}
+	if err := c.Found(Embedding{1}); err != nil {
+		t.Errorf("first Found: %v", err)
+	}
+	err := c.Found(Embedding{2})
+	if !IsStop(err) {
+		t.Errorf("second Found should hit limit, got %v", err)
+	}
+	if !c.Done() {
+		t.Error("collector should be done")
+	}
+	embs, finishErr := c.Finish(err)
+	if finishErr != nil {
+		t.Errorf("Finish should swallow the stop sentinel, got %v", finishErr)
+	}
+	if len(embs) != 2 {
+		t.Errorf("got %d embeddings, want 2", len(embs))
+	}
+}
+
+func TestCollectorFinishPropagatesRealErrors(t *testing.T) {
+	c := NewCollector(5)
+	_, err := c.Finish(context.Canceled)
+	if err != context.Canceled {
+		t.Errorf("Finish must propagate non-sentinel errors, got %v", err)
+	}
+}
+
+func TestCollectorClonesEmbeddings(t *testing.T) {
+	c := NewCollector(10)
+	e := Embedding{1, 2, 3}
+	if err := c.Found(e); err != nil {
+		t.Fatal(err)
+	}
+	e[0] = 99
+	if c.Results()[0][0] != 1 {
+		t.Error("collector must store a copy, not alias the search buffer")
+	}
+}
+
+func TestVerifyEmbedding(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0, 1, 0}, [][2]int{{0, 1}, {1, 2}})
+	q := graph.MustNew("q", []graph.Label{0, 1}, [][2]int{{0, 1}})
+	if err := VerifyEmbedding(q, g, Embedding{0, 1}); err != nil {
+		t.Errorf("valid embedding rejected: %v", err)
+	}
+	if err := VerifyEmbedding(q, g, Embedding{0}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := VerifyEmbedding(q, g, Embedding{0, 5}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if err := VerifyEmbedding(q, g, Embedding{1, 1}); err == nil {
+		t.Error("non-injective embedding accepted")
+	}
+	if err := VerifyEmbedding(q, g, Embedding{1, 0}); err == nil {
+		t.Error("label-mismatched embedding accepted")
+	}
+	if err := VerifyEmbedding(q, g, Embedding{0, 2}); err == nil {
+		t.Error("embedding with missing edge accepted (0-2 not an edge)")
+	}
+	// non-adjacent but label-correct pair 2,1: edge (2,1) exists, valid
+	if err := VerifyEmbedding(q, g, Embedding{2, 1}); err != nil {
+		t.Errorf("valid embedding rejected: %v", err)
+	}
+}
+
+func TestEmbeddingClone(t *testing.T) {
+	e := Embedding{4, 5}
+	c := e.Clone()
+	c[0] = 9
+	if e[0] != 4 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestReferenceName(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0}, nil)
+	if NewReference(g).Name() != "REF" {
+		t.Error("reference matcher name")
+	}
+}

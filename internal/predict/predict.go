@@ -1,0 +1,262 @@
+// Package predict implements the paper's §9 future-work direction: "using
+// machine learning models to predict which version of our framework
+// (algorithms, rewritings) to employ per query". It provides a
+// nearest-neighbour predictor over cheap query features and an adaptive
+// matcher that first races the full Ψ portfolio to gather training signal,
+// then switches to running only the predicted best attempt — falling back
+// to a full race when the prediction goes over budget.
+package predict
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/psi-graph/psi/internal/core"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+	"github.com/psi-graph/psi/internal/rewrite"
+)
+
+// FeatureCount is the dimensionality of the query feature vector.
+const FeatureCount = 7
+
+// Features is a cheap numeric summary of a query graph relative to a
+// stored graph's label frequencies — the inputs a per-query model can act
+// on (all computable in O(|q|)).
+type Features [FeatureCount]float64
+
+// Featurize computes the feature vector of q. freq supplies stored-graph
+// label frequencies (nil is allowed; the two frequency features become 0).
+func Featurize(q *graph.Graph, freq rewrite.Frequencies) Features {
+	var f Features
+	n, m := q.N(), q.M()
+	if n == 0 {
+		return f
+	}
+	f[0] = float64(n)
+	f[1] = float64(m)
+	f[2] = 2 * float64(m) / float64(n) // avg degree
+	maxDeg, deg2 := 0, 0
+	for v := 0; v < n; v++ {
+		d := q.Degree(v)
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d <= 2 {
+			deg2++
+		}
+	}
+	f[3] = float64(maxDeg)
+	f[4] = float64(deg2) / float64(n) // path-likeness (§6.2: wordnet queries)
+	distinct := q.LabelFrequencies()
+	f[5] = float64(len(distinct))
+	if freq != nil {
+		rarest := math.MaxFloat64
+		for l := range distinct {
+			if c := float64(freq[l]); c < rarest {
+				rarest = c
+			}
+		}
+		if rarest < math.MaxFloat64 {
+			f[6] = rarest
+		}
+	}
+	return f
+}
+
+// distance is squared Euclidean distance over per-dimension normalized
+// features.
+func distance(a, b, scale Features) float64 {
+	var d float64
+	for i := range a {
+		s := scale[i]
+		if s == 0 {
+			s = 1
+		}
+		x := (a[i] - b[i]) / s
+		d += x * x
+	}
+	return d
+}
+
+// observation is one training sample: a query's features and the attempt
+// that won its race.
+type observation struct {
+	features Features
+	winner   int // attempt index
+}
+
+// Predictor is a k-nearest-neighbour model over race outcomes. The zero
+// value is usable (predicts -1 until trained). Safe for concurrent use.
+type Predictor struct {
+	// K is the neighbourhood size; 0 means 3.
+	K int
+
+	mu    sync.RWMutex
+	obs   []observation
+	scale Features // running max |value| per dimension, for normalization
+}
+
+// Observe records a training sample: the query's features and the index of
+// the attempt that won.
+func (p *Predictor) Observe(f Features, winner int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = append(p.obs, observation{features: f, winner: winner})
+	for i, v := range f {
+		if a := math.Abs(v); a > p.scale[i] {
+			p.scale[i] = a
+		}
+	}
+}
+
+// Samples reports the number of recorded observations.
+func (p *Predictor) Samples() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.obs)
+}
+
+// Predict returns the attempt index most frequent among the K nearest
+// observations, or -1 if the model has no data.
+func (p *Predictor) Predict(f Features) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.obs) == 0 {
+		return -1
+	}
+	k := p.K
+	if k <= 0 {
+		k = 3
+	}
+	if k > len(p.obs) {
+		k = len(p.obs)
+	}
+	// Selection of the k nearest by repeated scan: observation counts are
+	// small (one per query seen), so O(k·n) is fine and allocation-free.
+	type cand struct {
+		dist   float64
+		winner int
+	}
+	nearest := make([]cand, 0, k)
+	for _, o := range p.obs {
+		d := distance(f, o.features, p.scale)
+		if len(nearest) < k {
+			nearest = append(nearest, cand{d, o.winner})
+			continue
+		}
+		worst, worstAt := -1.0, -1
+		for i, c := range nearest {
+			if c.dist > worst {
+				worst, worstAt = c.dist, i
+			}
+		}
+		if d < worst {
+			nearest[worstAt] = cand{d, o.winner}
+		}
+	}
+	votes := make(map[int]int, k)
+	for _, c := range nearest {
+		votes[c.winner]++
+	}
+	best, bestVotes := -1, -1
+	for w, v := range votes {
+		if v > bestVotes || (v == bestVotes && w < best) {
+			best, bestVotes = w, v
+		}
+	}
+	return best
+}
+
+// AdaptiveMatcher wraps a Ψ race configuration with a predictor: the first
+// WarmupRaces queries race every attempt (gathering training data); after
+// that only the predicted attempt runs, with a race fallback if it exceeds
+// SoloBudget. Answers are identical to a full race in all cases.
+type AdaptiveMatcher struct {
+	Racer    *core.Racer
+	Attempts []core.Attempt
+	// WarmupRaces is how many initial queries run as full races; 0 means 8.
+	WarmupRaces int
+	// SoloBudget caps a predicted-attempt solo run before falling back to
+	// the full race; 0 means 50ms.
+	SoloBudget time.Duration
+	// Model is the predictor; a zero Predictor works.
+	Model Predictor
+
+	name string
+	mu   sync.Mutex
+	seen int
+	solo int
+	fell int
+}
+
+// NewAdaptiveMatcher builds an adaptive matcher over the given attempts.
+func NewAdaptiveMatcher(name string, racer *core.Racer, attempts []core.Attempt) *AdaptiveMatcher {
+	return &AdaptiveMatcher{Racer: racer, Attempts: attempts, name: name}
+}
+
+// Name implements match.Matcher.
+func (a *AdaptiveMatcher) Name() string { return a.name }
+
+// Stats reports (queries seen, solo predictions run, fallbacks to racing).
+func (a *AdaptiveMatcher) Stats() (seen, solo, fellBack int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seen, a.solo, a.fell
+}
+
+// Match implements match.Matcher.
+func (a *AdaptiveMatcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match.Embedding, error) {
+	warmup := a.WarmupRaces
+	if warmup <= 0 {
+		warmup = 8
+	}
+	a.mu.Lock()
+	a.seen++
+	inWarmup := a.seen <= warmup
+	a.mu.Unlock()
+
+	feats := Featurize(q, a.Racer.Frequencies)
+	if !inWarmup {
+		if idx := a.Model.Predict(feats); idx >= 0 {
+			if embs, ok, err := a.trySolo(ctx, q, limit, idx); ok {
+				return embs, err
+			}
+			a.mu.Lock()
+			a.fell++
+			a.mu.Unlock()
+		}
+	}
+	res, err := a.Racer.Race(ctx, q, limit, a.Attempts)
+	if err != nil {
+		return nil, err
+	}
+	a.Model.Observe(feats, res.WinnerIndex)
+	return res.Embeddings, nil
+}
+
+// trySolo runs only the predicted attempt under SoloBudget. ok=false means
+// the budget expired and the caller should fall back to the full race;
+// parent-context errors are returned with ok=true (no point falling back).
+func (a *AdaptiveMatcher) trySolo(ctx context.Context, q *graph.Graph, limit, idx int) ([]match.Embedding, bool, error) {
+	budget := a.SoloBudget
+	if budget <= 0 {
+		budget = 50 * time.Millisecond
+	}
+	soloCtx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	res, err := a.Racer.Race(soloCtx, q, limit, a.Attempts[idx:idx+1])
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, true, ctx.Err() // caller's context died, not ours
+		}
+		return nil, false, nil // solo budget expired: fall back
+	}
+	a.mu.Lock()
+	a.solo++
+	a.mu.Unlock()
+	a.Model.Observe(Featurize(q, a.Racer.Frequencies), idx)
+	return res.Embeddings, true, nil
+}

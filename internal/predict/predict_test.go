@@ -1,0 +1,180 @@
+package predict
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/psi-graph/psi/internal/core"
+	"github.com/psi-graph/psi/internal/gen"
+	"github.com/psi-graph/psi/internal/gql"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+	"github.com/psi-graph/psi/internal/rewrite"
+	"github.com/psi-graph/psi/internal/spath"
+	"github.com/psi-graph/psi/internal/vf2"
+	"github.com/psi-graph/psi/internal/workload"
+)
+
+func TestFeaturize(t *testing.T) {
+	// path 0-1-2 with labels 5,5,7
+	q := graph.MustNew("q", []graph.Label{5, 5, 7}, [][2]int{{0, 1}, {1, 2}})
+	freq := rewrite.Frequencies{5: 100, 7: 3}
+	f := Featurize(q, freq)
+	if f[0] != 3 || f[1] != 2 {
+		t.Errorf("n/m features = %v", f)
+	}
+	if f[2] != 4.0/3.0 {
+		t.Errorf("avg degree = %f", f[2])
+	}
+	if f[3] != 2 {
+		t.Errorf("max degree = %f", f[3])
+	}
+	if f[4] != 1 {
+		t.Errorf("path-likeness = %f, want 1 (all degrees ≤ 2)", f[4])
+	}
+	if f[5] != 2 {
+		t.Errorf("distinct labels = %f", f[5])
+	}
+	if f[6] != 3 {
+		t.Errorf("rarest label frequency = %f, want 3", f[6])
+	}
+}
+
+func TestFeaturizeEmptyAndNilFreq(t *testing.T) {
+	var zero Features
+	if Featurize(graph.MustNew("e", nil, nil), nil) != zero {
+		t.Error("empty graph should have zero features")
+	}
+	q := graph.MustNew("q", []graph.Label{1}, nil)
+	f := Featurize(q, nil)
+	if f[6] != 0 {
+		t.Error("nil frequencies => rarest-frequency feature 0")
+	}
+}
+
+func TestPredictorUntrained(t *testing.T) {
+	var p Predictor
+	if got := p.Predict(Features{1, 2, 3}); got != -1 {
+		t.Errorf("untrained Predict = %d, want -1", got)
+	}
+	if p.Samples() != 0 {
+		t.Error("Samples")
+	}
+}
+
+// The predictor must learn a simple separable rule: small queries won by
+// attempt 0, large ones by attempt 1.
+func TestPredictorLearnsSeparableRule(t *testing.T) {
+	var p Predictor
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 40; i++ {
+		n := 3 + r.Intn(4) // 3..6 vertices
+		w := 0
+		if i%2 == 1 {
+			n = 20 + r.Intn(6) // 20..25 vertices
+			w = 1
+		}
+		f := Features{float64(n), float64(n + 2), 2, 3, 0.5, 2, 10}
+		p.Observe(f, w)
+	}
+	small := Features{4, 6, 2, 3, 0.5, 2, 10}
+	large := Features{22, 24, 2, 3, 0.5, 2, 10}
+	if got := p.Predict(small); got != 0 {
+		t.Errorf("Predict(small) = %d, want 0", got)
+	}
+	if got := p.Predict(large); got != 1 {
+		t.Errorf("Predict(large) = %d, want 1", got)
+	}
+}
+
+func TestPredictorKClamped(t *testing.T) {
+	p := Predictor{K: 50}
+	p.Observe(Features{1}, 7)
+	if got := p.Predict(Features{1}); got != 7 {
+		t.Errorf("Predict with K > samples = %d, want 7", got)
+	}
+}
+
+func newAdaptive(g *graph.Graph) *AdaptiveMatcher {
+	racer := core.NewRacer(g)
+	attempts := core.Portfolio(
+		[]match.Matcher{gql.New(g), spath.New(g), vf2.New(g)},
+		[]rewrite.Kind{rewrite.Orig, rewrite.DND})
+	return NewAdaptiveMatcher("Ψ-adaptive", racer, attempts)
+}
+
+func TestAdaptiveMatcherCorrectness(t *testing.T) {
+	g := gen.YeastLike(gen.Tiny, 3)
+	a := newAdaptive(g)
+	a.WarmupRaces = 4
+	a.SoloBudget = 100 * time.Millisecond
+	if a.Name() != "Ψ-adaptive" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	ref := vf2.New(g)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 16; i++ {
+		q := workload.Extract(r, g, 4+r.Intn(6))
+		want, err := ref.Match(context.Background(), q, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Match(context.Background(), q, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: adaptive found %d embeddings, reference %d", i, len(got), len(want))
+		}
+		for _, e := range got {
+			if err := match.VerifyEmbedding(q, g, e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seen, solo, fell := a.Stats()
+	if seen != 16 {
+		t.Errorf("seen = %d", seen)
+	}
+	if solo == 0 {
+		t.Error("expected some solo (predicted) runs after warm-up")
+	}
+	if a.Model.Samples() == 0 {
+		t.Error("model should have observations")
+	}
+	t.Logf("adaptive: seen=%d solo=%d fellback=%d", seen, solo, fell)
+}
+
+func TestAdaptiveFallsBackOnTinySoloBudget(t *testing.T) {
+	g := gen.YeastLike(gen.Tiny, 4)
+	a := newAdaptive(g)
+	a.WarmupRaces = 1
+	a.SoloBudget = time.Nanosecond // solo always expires
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 5; i++ {
+		q := workload.Extract(r, g, 5)
+		if _, err := a.Match(context.Background(), q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, solo, fell := a.Stats()
+	if solo != 0 {
+		t.Errorf("solo = %d, want 0 with nanosecond budget", solo)
+	}
+	if fell == 0 {
+		t.Error("expected fallbacks")
+	}
+}
+
+func TestAdaptiveHonorsParentContext(t *testing.T) {
+	g := gen.YeastLike(gen.Tiny, 5)
+	a := newAdaptive(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := workload.Extract(rand.New(rand.NewSource(7)), g, 20)
+	if _, err := a.Match(ctx, q, 1000); err == nil {
+		t.Error("expected context error")
+	}
+}

@@ -1,0 +1,97 @@
+package quicksi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+// Property: for random stored graphs and random connected queries, the
+// QuickSI plan is always a valid search sequence — every vertex exactly
+// once, parents and extra-edge targets placed earlier, every entry's edges
+// present in the query, and all query edges covered exactly once.
+func TestPlanInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraphQSI(r, 12+r.Intn(10), 3)
+		m := New(g)
+		q := randomGraphQSI(r, 3+r.Intn(6), 3)
+		seq := m.plan(q)
+		if len(seq) != q.N() {
+			return false
+		}
+		pos := make(map[int32]int, len(seq))
+		edges := 0
+		for i, e := range seq {
+			if _, dup := pos[e.u]; dup {
+				return false
+			}
+			pos[e.u] = i
+			if e.parent >= 0 {
+				p, ok := pos[e.parent]
+				if !ok || p >= i || !q.HasEdge(int(e.u), int(e.parent)) {
+					return false
+				}
+				edges++
+			}
+			for _, x := range e.extra {
+				p, ok := pos[x]
+				if !ok || p >= i || !q.HasEdge(int(e.u), int(x)) {
+					return false
+				}
+				edges++
+			}
+		}
+		return edges == q.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the plan root of each component has the (weakly) rarest label
+// among that component's unplaced vertices at selection time; in
+// particular, the very first root is a globally rarest-label vertex.
+func TestPlanRootIsRarestLabel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraphQSI(r, 20, 4)
+		m := New(g)
+		q := randomGraphQSI(r, 4+r.Intn(5), 4)
+		seq := m.plan(q)
+		root := seq[0].u
+		rootFreq := m.lblFreq[q.Label(int(root))]
+		for v := 0; v < q.N(); v++ {
+			if m.lblFreq[q.Label(v)] < rootFreq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomGraphQSI(r *rand.Rand, n, labels int) *graph.Graph {
+	b := graph.NewBuilder("g")
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(r.Intn(v), v); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !b.HasEdgePending(u, v) {
+			if err := b.AddEdge(u, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,213 @@
+// Package quicksi implements QuickSI (Shang, Zhang, Lin, Yu, PVLDB 2008),
+// abbreviated QSI in the paper's figures. QuickSI precomputes label and
+// edge-label-pair frequencies on the stored graph ("average inner support",
+// §3.1.2), uses them to weight the query's edges, builds a rooted minimum
+// spanning tree with Prim's algorithm, and matches query vertices in MST
+// insertion order.
+//
+// Ties in root selection and in Prim's edge selection are broken by node ID,
+// which is why isomorphic rewritings of the same query can behave very
+// differently — QuickSI shows the widest (max/min) variance among the NFV
+// methods in the paper's §5 study.
+package quicksi
+
+import (
+	"context"
+
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+)
+
+// Matcher is a QuickSI instance bound to a stored graph.
+type Matcher struct {
+	g        *graph.Graph
+	byLabel  map[graph.Label][]int32
+	lblFreq  map[graph.Label]int
+	edgeFreq map[[3]graph.Label]int
+}
+
+// New builds the QuickSI index (label and edge frequencies) for g. Edge
+// frequencies are keyed on (endpoint labels, edge label), implementing the
+// "infrequent adjacent edge labels" priority of §3.1.2.
+func New(g *graph.Graph) *Matcher {
+	m := &Matcher{
+		g:        g,
+		byLabel:  g.VerticesByLabel(),
+		lblFreq:  g.LabelFrequencies(),
+		edgeFreq: make(map[[3]graph.Label]int),
+	}
+	g.LabeledEdges(func(u, v int, l graph.Label) {
+		m.edgeFreq[edgeKey(g.Label(u), g.Label(v), l)]++
+	})
+	return m
+}
+
+// Name implements match.Matcher.
+func (m *Matcher) Name() string { return "QSI" }
+
+// Graph returns the stored graph.
+func (m *Matcher) Graph() *graph.Graph { return m.g }
+
+func edgeKey(a, b, e graph.Label) [3]graph.Label {
+	if a > b {
+		a, b = b, a
+	}
+	return [3]graph.Label{a, b, e}
+}
+
+// seqEntry is one step of the QuickSI search sequence (the "SEQ" of the
+// original paper): match vertex u, reached from parent (or -1 for the
+// root), then verify the extra (non-tree) edges back into the prefix.
+type seqEntry struct {
+	u      int32
+	parent int32   // -1 for root
+	extra  []int32 // already-placed query vertices adjacent to u, besides parent
+}
+
+// plan builds the rooted-MST search sequence for query q.
+//
+// Vertex weight = stored-graph frequency of the vertex's label; edge weight
+// = stored-graph frequency of the edge's label pair. The root is the vertex
+// with minimal (vertex weight, ID); Prim's algorithm then repeatedly adds
+// the frontier edge with minimal (edge weight, new-vertex weight, new-vertex
+// ID). Disconnected queries start a new root per component.
+func (m *Matcher) plan(q *graph.Graph) []seqEntry {
+	n := q.N()
+	seq := make([]seqEntry, 0, n)
+	placed := make([]bool, n)
+	order := make([]int32, 0, n) // placement order (for extra-edge detection)
+	vWeight := func(v int32) int { return m.lblFreq[q.Label(int(v))] }
+	eWeight := func(a, b int32) int {
+		return m.edgeFreq[edgeKey(q.Label(int(a)), q.Label(int(b)), q.EdgeLabel(int(a), int(b)))]
+	}
+	place := func(u, parent int32) {
+		var extra []int32
+		for _, w := range q.Neighbors(int(u)) {
+			if placed[w] && w != parent {
+				extra = append(extra, w)
+			}
+		}
+		seq = append(seq, seqEntry{u: u, parent: parent, extra: extra})
+		placed[u] = true
+		order = append(order, u)
+	}
+	for len(order) < n {
+		// Pick a root among unplaced vertices: min (label weight, ID).
+		root := int32(-1)
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			if root < 0 || vWeight(int32(v)) < vWeight(root) {
+				root = int32(v)
+			}
+		}
+		place(root, -1)
+		// Prim: grow the tree of this component.
+		for {
+			bestU, bestP := int32(-1), int32(-1)
+			bestEW, bestVW := 0, 0
+			for _, p := range order {
+				for _, w := range q.Neighbors(int(p)) {
+					if placed[w] {
+						continue
+					}
+					ew, vw := eWeight(p, w), vWeight(w)
+					if bestU < 0 || ew < bestEW ||
+						(ew == bestEW && (vw < bestVW ||
+							(vw == bestVW && w < bestU))) {
+						bestU, bestP, bestEW, bestVW = w, p, ew, vw
+					}
+				}
+			}
+			if bestU < 0 {
+				break // component exhausted
+			}
+			place(bestU, bestP)
+		}
+	}
+	return seq
+}
+
+// Match implements match.Matcher.
+func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match.Embedding, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	col := match.NewCollector(limit)
+	if q.N() == 0 {
+		return col.Finish(col.Found(match.Embedding{}))
+	}
+	if q.N() > m.g.N() || q.M() > m.g.M() {
+		return nil, nil
+	}
+	seq := m.plan(q)
+	s := &searcher{
+		m:      m,
+		q:      q,
+		seq:    seq,
+		emb:    make(match.Embedding, q.N()),
+		used:   make([]bool, m.g.N()),
+		col:    col,
+		budget: match.NewBudget(ctx),
+	}
+	for i := range s.emb {
+		s.emb[i] = -1
+	}
+	return col.Finish(s.step(0))
+}
+
+type searcher struct {
+	m      *Matcher
+	q      *graph.Graph
+	seq    []seqEntry
+	emb    match.Embedding
+	used   []bool
+	col    *match.Collector
+	budget *match.Budget
+}
+
+func (s *searcher) step(i int) error {
+	if i == len(s.seq) {
+		return s.col.Found(s.emb)
+	}
+	e := s.seq[i]
+	lbl := s.q.Label(int(e.u))
+	qdeg := s.q.Degree(int(e.u))
+	var candidates []int32
+	if e.parent >= 0 {
+		candidates = s.m.g.Neighbors(int(s.emb[e.parent]))
+	} else {
+		candidates = s.m.byLabel[lbl]
+	}
+	for _, v := range candidates {
+		if err := s.budget.Step(); err != nil {
+			return err
+		}
+		if s.used[v] || s.m.g.Label(int(v)) != lbl || s.m.g.Degree(int(v)) < qdeg {
+			continue
+		}
+		if e.parent >= 0 &&
+			!s.m.g.HasEdgeLabeled(int(s.emb[e.parent]), int(v), s.q.EdgeLabel(int(e.u), int(e.parent))) {
+			continue
+		}
+		ok := true
+		for _, x := range e.extra {
+			if !s.m.g.HasEdgeLabeled(int(s.emb[x]), int(v), s.q.EdgeLabel(int(e.u), int(x))) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		s.emb[e.u] = v
+		s.used[v] = true
+		if err := s.step(i + 1); err != nil {
+			return err
+		}
+		s.used[v] = false
+		s.emb[e.u] = -1
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package spath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+// Property: for random queries, the shortest-path decomposition (i) covers
+// every query edge, (ii) uses only real edges, (iii) respects the length
+// cap, and (iv) mentions every vertex (including isolated ones).
+func TestDecomposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQuerySPA(r, 2+r.Intn(14), 3)
+		paths := decompose(q, DefaultMaxPathLen)
+		covered := make(map[[2]int32]bool)
+		seenV := make(map[int32]bool)
+		for _, p := range paths {
+			if len(p)-1 > DefaultMaxPathLen {
+				return false
+			}
+			for _, v := range p {
+				seenV[v] = true
+			}
+			for i := 0; i+1 < len(p); i++ {
+				a, b := p[i], p[i+1]
+				if !q.HasEdge(int(a), int(b)) {
+					return false
+				}
+				if a > b {
+					a, b = b, a
+				}
+				covered[[2]int32{a, b}] = true
+			}
+		}
+		if len(covered) != q.M() {
+			return false
+		}
+		return len(seenV) == q.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: path ordering is by non-decreasing selectivity estimate
+// (product of candidate-set sizes).
+func TestOrderPathsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQuerySPA(r, 3+r.Intn(10), 3)
+		paths := decompose(q, DefaultMaxPathLen)
+		cand := make([]map[int32]bool, q.N())
+		for u := range cand {
+			set := make(map[int32]bool)
+			for k := 0; k < 1+r.Intn(5); k++ {
+				set[int32(k)] = true
+			}
+			cand[u] = set
+		}
+		orderPaths(paths, cand)
+		est := func(p []int32) float64 {
+			e := 1.0
+			for _, u := range p {
+				e *= float64(len(cand[u]))
+			}
+			return e
+		}
+		for i := 1; i < len(paths); i++ {
+			if est(paths[i]) < est(paths[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomQuerySPA(r *rand.Rand, n, labels int) *graph.Graph {
+	b := graph.NewBuilder("q")
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(r.Intn(labels)))
+	}
+	// possibly disconnected: random edges only
+	for i := 0; i < n; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !b.HasEdgePending(u, v) {
+			if err := b.AddEdge(u, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,360 @@
+// Package spath implements sPath (Zhao & Han, PVLDB 2010), abbreviated SPA
+// in the paper's figures. Per §3.1.2 of the paper, sPath maintains for every
+// stored-graph vertex a neighbourhood signature decomposed distance-wise:
+// for each radius d ≤ k it records how many vertices of each label lie
+// within distance d. Query processing decomposes the query into shortest
+// paths that cover all query edges, selects candidate paths with good
+// selectivity (minimizing the estimated result size of each join), and
+// verifies the chosen paths edge by edge.
+package spath
+
+import (
+	"context"
+	"sort"
+
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+)
+
+// DefaultRadius matches the paper's setup: "a neighbourhood radius of 4 and
+// maximum path length 4".
+const DefaultRadius = 4
+
+// DefaultMaxPathLen is the maximum number of edges per decomposed path.
+const DefaultMaxPathLen = 4
+
+// Matcher is an sPath instance bound to a stored graph.
+type Matcher struct {
+	g       *graph.Graph
+	byLabel map[graph.Label][]int32
+	radius  int
+	// sig[v][d-1] maps label -> number of vertices with that label at
+	// distance exactly d from v. Containment tests use cumulative sums.
+	sig [][]map[graph.Label]int32
+}
+
+// New builds the sPath distance-wise signature index with DefaultRadius.
+func New(g *graph.Graph) *Matcher { return NewWithRadius(g, DefaultRadius) }
+
+// NewWithRadius builds the index with an explicit neighbourhood radius.
+func NewWithRadius(g *graph.Graph, radius int) *Matcher {
+	if radius < 1 {
+		radius = 1
+	}
+	m := &Matcher{g: g, byLabel: g.VerticesByLabel(), radius: radius}
+	m.sig = make([][]map[graph.Label]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		m.sig[v] = distanceSignature(g, v, radius)
+	}
+	return m
+}
+
+// Name implements match.Matcher.
+func (m *Matcher) Name() string { return "SPA" }
+
+// Graph returns the stored graph.
+func (m *Matcher) Graph() *graph.Graph { return m.g }
+
+// distanceSignature computes, for each distance 1..radius, the multiset of
+// labels at exactly that distance from v.
+func distanceSignature(g *graph.Graph, v, radius int) []map[graph.Label]int32 {
+	sig := make([]map[graph.Label]int32, radius)
+	for d := range sig {
+		sig[d] = make(map[graph.Label]int32)
+	}
+	dist := g.BFSDistances(v, radius)
+	for w, d := range dist {
+		if d >= 1 && d <= radius {
+			sig[d-1][g.Label(w)]++
+		}
+	}
+	return sig
+}
+
+// sigContains checks cumulative containment: for every radius d and label l,
+// the query vertex must not see more l-labeled vertices within distance d
+// than the candidate graph vertex does. (Embeddings can only shrink
+// distances, so cumulative counts are monotone under subgraph isomorphism.)
+func sigContains(gSig, qSig []map[graph.Label]int32) bool {
+	cumG := make(map[graph.Label]int32)
+	cumQ := make(map[graph.Label]int32)
+	d := len(qSig)
+	if len(gSig) < d {
+		d = len(gSig)
+	}
+	for i := 0; i < d; i++ {
+		for l, c := range gSig[i] {
+			cumG[l] += c
+		}
+		for l, c := range qSig[i] {
+			cumQ[l] += c
+		}
+		for l, c := range cumQ {
+			if cumG[l] < c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Match implements match.Matcher.
+func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match.Embedding, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	col := match.NewCollector(limit)
+	if q.N() == 0 {
+		return col.Finish(col.Found(match.Embedding{}))
+	}
+	if q.N() > m.g.N() || q.M() > m.g.M() {
+		return nil, nil
+	}
+	budget := match.NewBudget(ctx)
+	cand, err := m.candidates(q, budget)
+	if err != nil || cand == nil {
+		return nil, err
+	}
+	paths := decompose(q, DefaultMaxPathLen)
+	orderPaths(paths, cand)
+	s := &searcher{
+		m:      m,
+		q:      q,
+		cand:   cand,
+		paths:  paths,
+		emb:    make(match.Embedding, q.N()),
+		used:   make([]bool, m.g.N()),
+		col:    col,
+		budget: budget,
+	}
+	for i := range s.emb {
+		s.emb[i] = -1
+	}
+	return col.Finish(s.matchPath(0, 0))
+}
+
+// candidates computes per-query-vertex candidate sets by label, degree and
+// distance-signature containment. Returns nil if any set is empty.
+func (m *Matcher) candidates(q *graph.Graph, budget *match.Budget) ([]map[int32]bool, error) {
+	cand := make([]map[int32]bool, q.N())
+	for u := 0; u < q.N(); u++ {
+		qSig := distanceSignature(q, u, m.radius)
+		set := make(map[int32]bool)
+		for _, v := range m.byLabel[q.Label(u)] {
+			if err := budget.Step(); err != nil {
+				return nil, err
+			}
+			if m.g.Degree(int(v)) >= q.Degree(u) && sigContains(m.sig[v], qSig) {
+				set[v] = true
+			}
+		}
+		if len(set) == 0 {
+			return nil, nil
+		}
+		cand[u] = set
+	}
+	return cand, nil
+}
+
+// decompose splits the query into paths of at most maxLen edges covering
+// every query edge: BFS trees rooted per component give tree paths
+// (root-to-leaf, chopped into maxLen segments), and every non-tree edge
+// becomes a 1-edge path. Shared vertices across paths stitch the embedding
+// together during the join.
+func decompose(q *graph.Graph, maxLen int) [][]int32 {
+	n := q.N()
+	visited := make([]bool, n)
+	parent := make([]int32, n)
+	var paths [][]int32
+	covered := make(map[[2]int32]bool, q.M())
+	cover := func(a, b int32) {
+		if a > b {
+			a, b = b, a
+		}
+		covered[[2]int32{a, b}] = true
+	}
+	isCovered := func(a, b int32) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return covered[[2]int32{a, b}]
+	}
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		// BFS tree of this component.
+		visited[root] = true
+		parent[root] = -1
+		queue := []int32{int32(root)}
+		var order []int32
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, w := range q.Neighbors(int(v)) {
+				if !visited[w] {
+					visited[w] = true
+					parent[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+		// Children counts to find leaves.
+		isLeaf := make(map[int32]bool, len(order))
+		for _, v := range order {
+			isLeaf[v] = true
+		}
+		for _, v := range order {
+			if parent[v] >= 0 {
+				isLeaf[parent[v]] = false
+			}
+		}
+		// Root-to-leaf tree paths, chopped into ≤ maxLen segments.
+		for _, v := range order {
+			if !isLeaf[v] {
+				continue
+			}
+			var rev []int32
+			for x := v; x >= 0; x = parent[x] {
+				rev = append(rev, x)
+				if parent[x] < 0 {
+					break
+				}
+			}
+			// reverse to root..leaf
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			for start := 0; start+1 < len(rev); start += maxLen {
+				end := start + maxLen
+				if end >= len(rev) {
+					end = len(rev) - 1
+				}
+				seg := rev[start : end+1]
+				cp := make([]int32, len(seg))
+				copy(cp, seg)
+				paths = append(paths, cp)
+				for i := 0; i+1 < len(cp); i++ {
+					cover(cp[i], cp[i+1])
+				}
+			}
+		}
+		// Isolated vertex: single-vertex path so it still gets matched.
+		if len(order) == 1 {
+			paths = append(paths, []int32{order[0]})
+		}
+	}
+	// Non-tree edges as 1-edge paths.
+	q.Edges(func(a, b int) {
+		if !isCovered(int32(a), int32(b)) {
+			paths = append(paths, []int32{int32(a), int32(b)})
+			cover(int32(a), int32(b))
+		}
+	})
+	return paths
+}
+
+// orderPaths sorts paths by ascending selectivity estimate — the product of
+// candidate-set sizes over the path's vertices (i.e. the estimated join
+// result size) — with ties broken by first-vertex ID. Joining the most
+// selective path first minimizes intermediate results, as in the original
+// algorithm.
+func orderPaths(paths [][]int32, cand []map[int32]bool) {
+	est := func(p []int32) float64 {
+		e := 1.0
+		for _, u := range p {
+			e *= float64(len(cand[u]))
+		}
+		return e
+	}
+	sort.SliceStable(paths, func(i, j int) bool {
+		ei, ej := est(paths[i]), est(paths[j])
+		if ei != ej {
+			return ei < ej
+		}
+		return paths[i][0] < paths[j][0]
+	})
+}
+
+type searcher struct {
+	m      *Matcher
+	q      *graph.Graph
+	cand   []map[int32]bool
+	paths  [][]int32
+	emb    match.Embedding
+	used   []bool
+	col    *match.Collector
+	budget *match.Budget
+}
+
+// matchPath advances the edge-by-edge verification: position pos within
+// path pi. Already-matched vertices are verified for adjacency only;
+// unmatched ones branch over candidates.
+func (s *searcher) matchPath(pi, pos int) error {
+	if pi == len(s.paths) {
+		return s.col.Found(s.emb)
+	}
+	path := s.paths[pi]
+	if pos == len(path) {
+		return s.matchPath(pi+1, 0)
+	}
+	u := path[pos]
+	prevMapped := int32(-1)
+	if pos > 0 {
+		prevMapped = s.emb[path[pos-1]]
+	}
+	if v := s.emb[u]; v >= 0 {
+		// Already matched by an earlier path: just verify the path edge.
+		if prevMapped >= 0 &&
+			!s.m.g.HasEdgeLabeled(int(prevMapped), int(v), s.q.EdgeLabel(int(path[pos-1]), int(u))) {
+			return nil
+		}
+		return s.matchPath(pi, pos+1)
+	}
+	try := func(v int32) error {
+		if err := s.budget.Step(); err != nil {
+			return err
+		}
+		if s.used[v] || !s.cand[u][v] {
+			return nil
+		}
+		// Verify all edges back into the partial embedding, so cross-path
+		// edges incident to u are enforced as soon as u is placed.
+		for _, w := range s.q.Neighbors(int(u)) {
+			if img := s.emb[w]; img >= 0 &&
+				!s.m.g.HasEdgeLabeled(int(img), int(v), s.q.EdgeLabel(int(u), int(w))) {
+				return nil
+			}
+		}
+		s.emb[u] = v
+		s.used[v] = true
+		if err := s.matchPath(pi, pos+1); err != nil {
+			return err
+		}
+		s.used[v] = false
+		s.emb[u] = -1
+		return nil
+	}
+	if prevMapped >= 0 {
+		for _, v := range s.m.g.Neighbors(int(prevMapped)) {
+			if err := try(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Path head: iterate the candidate set in ascending vertex order for
+	// determinism.
+	heads := make([]int32, 0, len(s.cand[u]))
+	for v := range s.cand[u] {
+		heads = append(heads, v)
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	for _, v := range heads {
+		if err := try(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package spath
+
+import (
+	"context"
+	"testing"
+
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+)
+
+func TestName(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0}, nil)
+	m := New(g)
+	if m.Name() != "SPA" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if m.Graph() != g {
+		t.Error("Graph accessor")
+	}
+	if m.radius != DefaultRadius {
+		t.Errorf("radius = %d", m.radius)
+	}
+}
+
+func TestRadiusClamp(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0}, nil)
+	if NewWithRadius(g, 0).radius != 1 {
+		t.Error("radius must clamp to >= 1")
+	}
+}
+
+func TestDistanceSignature(t *testing.T) {
+	// path 0-1-2-3 with labels 5,6,7,8
+	g := graph.MustNew("p", []graph.Label{5, 6, 7, 8}, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	sig := distanceSignature(g, 0, 3)
+	if sig[0][6] != 1 || len(sig[0]) != 1 {
+		t.Errorf("distance-1 sig = %v", sig[0])
+	}
+	if sig[1][7] != 1 || len(sig[1]) != 1 {
+		t.Errorf("distance-2 sig = %v", sig[1])
+	}
+	if sig[2][8] != 1 || len(sig[2]) != 1 {
+		t.Errorf("distance-3 sig = %v", sig[2])
+	}
+}
+
+func TestSigContainsCumulative(t *testing.T) {
+	// Query sees one label-7 at distance 2; candidate sees it at distance 1.
+	// Cumulative containment must accept (distances shrink in embeddings).
+	qSig := []map[graph.Label]int32{{}, {7: 1}}
+	gSig := []map[graph.Label]int32{{7: 1}, {}}
+	if !sigContains(gSig, qSig) {
+		t.Error("cumulative containment should accept closer labels")
+	}
+	// Reverse direction must reject: query sees label at distance 1 but
+	// candidate only at distance 2.
+	if sigContains(qSig, gSig) == false {
+		// qSig as graph sig: cum at d=1 {} lacks 7 required by gSig? gSig
+		// at d=1 has 7:1 -> reject.
+		t.Log("rejected as expected")
+	}
+	qSig2 := []map[graph.Label]int32{{7: 1}, {}}
+	gSig2 := []map[graph.Label]int32{{}, {7: 1}}
+	if sigContains(gSig2, qSig2) {
+		t.Error("label required at distance 1 cannot be satisfied at distance 2")
+	}
+}
+
+func TestDecomposeCoversAllEdges(t *testing.T) {
+	g := graph.MustNew("q", []graph.Label{0, 0, 0, 0, 0},
+		[][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}})
+	paths := decompose(g, 4)
+	covered := make(map[[2]int32]bool)
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			a, b := p[i], p[i+1]
+			if a > b {
+				a, b = b, a
+			}
+			if !g.HasEdge(int(a), int(b)) {
+				t.Fatalf("path %v uses non-edge (%d,%d)", p, a, b)
+			}
+			covered[[2]int32{a, b}] = true
+		}
+	}
+	if len(covered) != g.M() {
+		t.Errorf("decomposition covers %d edges, query has %d", len(covered), g.M())
+	}
+}
+
+func TestDecomposeRespectsMaxLen(t *testing.T) {
+	// long path graph: 10 edges must be chopped into ≤4-edge segments
+	labels := make([]graph.Label, 11)
+	var edges [][2]int
+	for i := 0; i < 10; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	g := graph.MustNew("long", labels, edges)
+	paths := decompose(g, 4)
+	for _, p := range paths {
+		if len(p)-1 > 4 {
+			t.Errorf("path %v exceeds max length 4", p)
+		}
+	}
+}
+
+func TestDecomposeIsolatedVertex(t *testing.T) {
+	g := graph.MustNew("iso", []graph.Label{0, 0, 0}, [][2]int{{0, 1}})
+	paths := decompose(g, 4)
+	seen := make(map[int32]bool)
+	for _, p := range paths {
+		for _, v := range p {
+			seen[v] = true
+		}
+	}
+	if !seen[2] {
+		t.Error("isolated vertex 2 must appear in some path")
+	}
+}
+
+func TestMatchTriangleQuery(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0, 0, 0, 0},
+		[][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	q := graph.MustNew("q", []graph.Label{0, 0, 0}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	m := New(g)
+	embs, err := m.Match(context.Background(), q, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// triangle {0,1,2}: 3! = 6 automorphic embeddings
+	if len(embs) != 6 {
+		t.Errorf("got %d embeddings, want 6", len(embs))
+	}
+	for _, e := range embs {
+		if err := match.VerifyEmbedding(q, g, e); err != nil {
+			t.Errorf("invalid embedding %v: %v", e, err)
+		}
+	}
+}
+
+func TestCandidateFilterByDistanceSignature(t *testing.T) {
+	// Stored graph: two label-0 vertices; only vertex 0 has a label-9
+	// vertex within distance 2.
+	g := graph.MustNew("g", []graph.Label{0, 1, 9, 0, 1},
+		[][2]int{{0, 1}, {1, 2}, {3, 4}})
+	q := graph.MustNew("q", []graph.Label{0, 1, 9}, [][2]int{{0, 1}, {1, 2}})
+	m := New(g)
+	cand, err := m.candidates(q, match.NewBudget(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand == nil {
+		t.Fatal("candidates should exist")
+	}
+	if !cand[0][0] {
+		t.Error("vertex 0 must be a candidate for query vertex 0")
+	}
+	if cand[0][3] {
+		t.Error("vertex 3 must be pruned: no label-9 within distance 2")
+	}
+}
+
+func TestMatchDisconnectedQuery(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0, 1, 0, 1}, [][2]int{{0, 1}, {2, 3}})
+	q := graph.MustNew("q", []graph.Label{0, 1, 0, 1}, [][2]int{{0, 1}, {2, 3}})
+	embs, err := New(g).Match(context.Background(), q, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pairs (0,1),(2,3) for first comp × remaining pair for second = 2
+	if len(embs) != 2 {
+		t.Errorf("got %d embeddings, want 2", len(embs))
+	}
+}

@@ -1,0 +1,224 @@
+// Package vf2 implements the VF2 subgraph isomorphism algorithm (Cordella,
+// Foggia, Sansone, Vento, IEEE TPAMI 2004) for vertex-labeled undirected
+// graphs, in its non-induced variant. VF2 is the verification algorithm
+// underlying both FTV methods studied in the paper (Grapes and GGSX, §3.1.1).
+//
+// As the paper stresses, VF2 "does not define any order in which query
+// vertices are selected": this implementation, like the original, picks the
+// lowest-ID unmatched query vertex adjacent to the current partial match,
+// which makes running time highly sensitive to the query's node numbering —
+// the property the Ψ-framework's rewritings exploit.
+package vf2
+
+import (
+	"context"
+
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+)
+
+// Matcher is a VF2 instance bound to a stored graph. It precomputes the
+// label→vertices index once so repeated queries avoid O(n) scans.
+type Matcher struct {
+	g       *graph.Graph
+	byLabel map[graph.Label][]int32
+}
+
+// New builds a VF2 matcher over stored graph g.
+func New(g *graph.Graph) *Matcher {
+	return &Matcher{g: g, byLabel: g.VerticesByLabel()}
+}
+
+// Name implements match.Matcher.
+func (m *Matcher) Name() string { return "VF2" }
+
+// Graph returns the stored graph this matcher verifies against.
+func (m *Matcher) Graph() *graph.Graph { return m.g }
+
+// Match implements match.Matcher.
+func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match.Embedding, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	col := match.NewCollector(limit)
+	if q.N() == 0 {
+		return col.Finish(col.Found(match.Embedding{}))
+	}
+	if q.N() > m.g.N() || q.M() > m.g.M() {
+		return nil, nil
+	}
+	s := &state{
+		q:      q,
+		g:      m.g,
+		byLbl:  m.byLabel,
+		coreQ:  make([]int32, q.N()),
+		coreG:  make([]int32, m.g.N()),
+		inG:    make([]bool, m.g.N()),
+		col:    col,
+		budget: match.NewBudget(ctx),
+	}
+	for i := range s.coreQ {
+		s.coreQ[i] = -1
+	}
+	for i := range s.coreG {
+		s.coreG[i] = -1
+	}
+	return col.Finish(s.search(0))
+}
+
+// Contains reports whether q is subgraph-isomorphic to the stored graph
+// (the decision problem solved in the FTV verification stage).
+func (m *Matcher) Contains(ctx context.Context, q *graph.Graph) (bool, error) {
+	embs, err := m.Match(ctx, q, 1)
+	if err != nil {
+		return false, err
+	}
+	return len(embs) > 0, nil
+}
+
+// Match runs VF2 once without retaining an index; convenient for one-shot
+// verification calls (e.g. against extracted components in Grapes).
+func Match(ctx context.Context, q, g *graph.Graph, limit int) ([]match.Embedding, error) {
+	return New(g).Match(ctx, q, limit)
+}
+
+type state struct {
+	q, g   *graph.Graph
+	byLbl  map[graph.Label][]int32
+	coreQ  []int32 // query vertex -> matched graph vertex or -1
+	coreG  []int32 // graph vertex -> matched query vertex or -1
+	inG    []bool  // graph vertex matched
+	col    *match.Collector
+	budget *match.Budget
+}
+
+// nextQueryVertex returns the lowest-ID unmatched query vertex adjacent to
+// the matched set, or the lowest-ID unmatched vertex if the matched set has
+// no unmatched neighbors (empty match or disconnected query).
+func (s *state) nextQueryVertex() int {
+	best := -1
+	for u := 0; u < s.q.N(); u++ {
+		if s.coreQ[u] >= 0 {
+			continue
+		}
+		if best < 0 {
+			best = u
+		}
+		for _, w := range s.q.Neighbors(u) {
+			if s.coreQ[w] >= 0 {
+				return u
+			}
+		}
+	}
+	return best
+}
+
+func (s *state) search(depth int) error {
+	if depth == s.q.N() {
+		return s.col.Found(match.Embedding(s.coreQ))
+	}
+	u := s.nextQueryVertex()
+	// Candidate generation: if u has matched neighbors, only neighbors of
+	// their images qualify (pruning rule 1: candidates must be directly
+	// connected to already-matched vertices of g). Otherwise all
+	// label-compatible vertices are candidates.
+	var candidates []int32
+	anchor := int32(-1)
+	for _, w := range s.q.Neighbors(u) {
+		if s.coreQ[w] >= 0 {
+			anchor = s.coreQ[w]
+			break
+		}
+	}
+	if anchor >= 0 {
+		candidates = s.g.Neighbors(int(anchor))
+	} else {
+		candidates = s.byLbl[s.q.Label(u)]
+	}
+	for _, v := range candidates {
+		if err := s.budget.Step(); err != nil {
+			return err
+		}
+		if s.inG[v] || s.g.Label(int(v)) != s.q.Label(u) {
+			continue
+		}
+		if !s.feasible(u, v) {
+			continue
+		}
+		s.coreQ[u] = v
+		s.coreG[v] = int32(u)
+		s.inG[v] = true
+		if err := s.search(depth + 1); err != nil {
+			return err
+		}
+		s.coreQ[u] = -1
+		s.coreG[v] = -1
+		s.inG[v] = false
+	}
+	return nil
+}
+
+// feasible applies the consistency rule plus VF2's two lookahead pruning
+// rules, in the non-induced (subgraph isomorphism) direction: query-side
+// counts must not exceed graph-side counts.
+func (s *state) feasible(u int, v int32) bool {
+	// Consistency: every matched neighbor of u must map to a neighbor of v
+	// through an edge with the query edge's label (this subsumes pruning
+	// rule 1 for multiple matched neighbors).
+	for _, w := range s.q.Neighbors(u) {
+		if img := s.coreQ[w]; img >= 0 &&
+			!s.g.HasEdgeLabeled(int(img), int(v), s.q.EdgeLabel(u, int(w))) {
+			return false
+		}
+	}
+	// Lookahead (rules 2 and 3): classify unmatched neighbors of u and of v
+	// as "terminal" (adjacent to the matched set) or "new"; the query may
+	// not demand more of either class than the graph vertex offers.
+	termQ, newQ := 0, 0
+	for _, w := range s.q.Neighbors(u) {
+		if s.coreQ[w] >= 0 {
+			continue
+		}
+		if s.adjacentToMatchedQ(w) {
+			termQ++
+		} else {
+			newQ++
+		}
+	}
+	termG, newG := 0, 0
+	for _, w := range s.g.Neighbors(int(v)) {
+		if s.inG[w] {
+			continue
+		}
+		if s.adjacentToMatchedG(w) {
+			termG++
+		} else {
+			newG++
+		}
+	}
+	// Rule 2: terminal-count feasibility.
+	if termQ > termG {
+		return false
+	}
+	// Rule 3: total remaining-degree feasibility ("less adjacent
+	// matched/candidate nodes than the corresponding figure in q").
+	return termQ+newQ <= termG+newG
+}
+
+func (s *state) adjacentToMatchedQ(w int32) bool {
+	for _, x := range s.q.Neighbors(int(w)) {
+		if s.coreQ[x] >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *state) adjacentToMatchedG(w int32) bool {
+	for _, x := range s.g.Neighbors(int(w)) {
+		if s.inG[x] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package vf2
+
+import (
+	"context"
+	"testing"
+
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+func TestNameAndGraph(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0}, nil)
+	m := New(g)
+	if m.Name() != "VF2" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if m.Graph() != g {
+		t.Error("Graph accessor")
+	}
+}
+
+func TestContains(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0, 1, 0}, [][2]int{{0, 1}, {1, 2}})
+	m := New(g)
+	yes := graph.MustNew("q1", []graph.Label{0, 1}, [][2]int{{0, 1}})
+	no := graph.MustNew("q2", []graph.Label{0, 0}, [][2]int{{0, 1}})
+	ok, err := m.Contains(context.Background(), yes)
+	if err != nil || !ok {
+		t.Errorf("Contains(yes) = %v, %v", ok, err)
+	}
+	ok, err = m.Contains(context.Background(), no)
+	if err != nil || ok {
+		t.Errorf("Contains(no) = %v, %v", ok, err)
+	}
+}
+
+func TestOneShotMatch(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0, 0, 0}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	q := graph.MustNew("q", []graph.Label{0, 0}, [][2]int{{0, 1}})
+	embs, err := Match(context.Background(), q, g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// each of the 3 undirected edges in both directions
+	if len(embs) != 6 {
+		t.Errorf("got %d embeddings, want 6", len(embs))
+	}
+}
+
+// The lookahead rules must never prune valid embeddings: the star K1,3 into
+// a wheel (hub + rim), where terminal/new classification is exercised.
+func TestLookaheadSoundness(t *testing.T) {
+	// wheel: hub 0 connected to rim 1,2,3,4; rim cycle 1-2-3-4-1
+	g := graph.MustNew("wheel", []graph.Label{0, 0, 0, 0, 0},
+		[][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {2, 3}, {3, 4}, {4, 1}})
+	// K1,3 star
+	q := graph.MustNew("star", []graph.Label{0, 0, 0, 0},
+		[][2]int{{0, 1}, {0, 2}, {0, 3}})
+	embs, err := Match(context.Background(), q, g, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(embs) == 0 {
+		t.Fatal("star should embed into wheel")
+	}
+	// hub of the star can map to graph hub (deg 4): 4*3*2 = 24 mappings,
+	// plus rim vertices (deg 3): 4 rim hubs × (3*2*1) = 24. Total 48.
+	if len(embs) != 48 {
+		t.Errorf("star-into-wheel embeddings = %d, want 48", len(embs))
+	}
+}
+
+// First-match determinism: with the ID-ordered candidate selection, the
+// first embedding of the identity query is the identity mapping.
+func TestFirstMatchDeterministic(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}})
+	embs, err := Match(context.Background(), g, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(embs) != 1 {
+		t.Fatal("self-match must succeed")
+	}
+	for v, img := range embs[0] {
+		if int(img) != v {
+			t.Errorf("first self-embedding should be identity, got %v", embs[0])
+		}
+	}
+}
+
+func TestEdgeCountShortCircuit(t *testing.T) {
+	// q has more edges than g: must return immediately with no embeddings.
+	g := graph.MustNew("g", []graph.Label{0, 0, 0}, [][2]int{{0, 1}})
+	q := graph.MustNew("q", []graph.Label{0, 0, 0}, [][2]int{{0, 1}, {1, 2}})
+	embs, err := Match(context.Background(), q, g, 10)
+	if err != nil || len(embs) != 0 {
+		t.Errorf("got %v, %v", embs, err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package workload generates query workloads exactly as §3.4 of the paper
+// prescribes: "first we select a graph from the dataset uniformly and at
+// random, and from that graph we select a node uniformly and at random.
+// Starting from said node, we generate a query graph by incrementally
+// adding edges chosen uniformly at random from the set of all edges
+// adjacent to the resulting query graph, until it reaches the desired
+// size." Extracted queries are therefore guaranteed to be contained in
+// their source graph — any observed non-containment is against the *other*
+// dataset graphs.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+// Query is one workload entry.
+type Query struct {
+	// Graph is the query graph, renumbered to dense IDs.
+	Graph *graph.Graph
+	// Source is the index of the dataset graph the query was extracted
+	// from (always 0 for single-graph NFV datasets).
+	Source int
+	// WantEdges is the requested size; Graph.M() may be smaller if the
+	// source component was exhausted first.
+	WantEdges int
+}
+
+// Extract grows a connected query of up to wantEdges edges from a uniformly
+// random start vertex of g.
+func Extract(r *rand.Rand, g *graph.Graph, wantEdges int) *graph.Graph {
+	if g.N() == 0 {
+		return graph.MustNew("q", nil, nil)
+	}
+	start := r.Intn(g.N())
+	inQ := map[int32]bool{int32(start): true}
+	vertices := []int32{int32(start)} // insertion order: keeps iteration deterministic
+	type edge struct{ u, v int32 }
+	var qEdges []edge
+	used := make(map[[2]int32]bool, wantEdges)
+	has := func(a, b int32) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return used[[2]int32{a, b}]
+	}
+	add := func(a, b int32) {
+		if a > b {
+			a, b = b, a
+		}
+		used[[2]int32{a, b}] = true
+	}
+	join := func(v int32) {
+		if !inQ[v] {
+			inQ[v] = true
+			vertices = append(vertices, v)
+		}
+	}
+	for len(qEdges) < wantEdges {
+		var frontier []edge
+		for _, v := range vertices {
+			for _, w := range g.Neighbors(int(v)) {
+				if !has(v, w) {
+					frontier = append(frontier, edge{v, w})
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		e := frontier[r.Intn(len(frontier))]
+		qEdges = append(qEdges, e)
+		add(e.u, e.v)
+		join(e.u)
+		join(e.v)
+	}
+	ids := make([]int32, len(vertices))
+	copy(ids, vertices)
+	sortInt32(ids)
+	old2new := make(map[int32]int, len(ids))
+	b := graph.NewBuilder(fmt.Sprintf("q%de", len(qEdges)))
+	for i, v := range ids {
+		old2new[v] = i
+		b.AddVertex(g.Label(int(v)))
+	}
+	for _, e := range qEdges {
+		if err := b.AddEdge(old2new[e.u], old2new[e.v]); err != nil {
+			panic(err) // unreachable: endpoints exist and edges are distinct
+		}
+	}
+	return b.MustBuild()
+}
+
+// Generate builds count queries of each size from the dataset, drawing the
+// source graph uniformly per query. Deterministic given the seed.
+func Generate(ds []*graph.Graph, sizes []int, count int, seed int64) []Query {
+	r := rand.New(rand.NewSource(seed))
+	var out []Query
+	for _, size := range sizes {
+		for i := 0; i < count; i++ {
+			src := r.Intn(len(ds))
+			q := Extract(r, ds[src], size)
+			out = append(out, Query{Graph: q, Source: src, WantEdges: size})
+		}
+	}
+	return out
+}
+
+// GenerateSingle builds count queries of each size from one stored graph
+// (the NFV setting).
+func GenerateSingle(g *graph.Graph, sizes []int, count int, seed int64) []Query {
+	return Generate([]*graph.Graph{g}, sizes, count, seed)
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/psi-graph/psi/internal/gen"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+func TestExtractSizeAndConnectivity(t *testing.T) {
+	g := gen.YeastLike(gen.Tiny, 1)
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		size := 4 + r.Intn(12)
+		q := Extract(r, g, size)
+		if q.M() != size {
+			t.Errorf("trial %d: extracted %d edges, want %d (graph is large enough)", trial, q.M(), size)
+		}
+		if !q.IsConnected() {
+			t.Errorf("trial %d: extracted query must be connected", trial)
+		}
+	}
+}
+
+// The defining property of the §3.4 workload: extracted queries are
+// contained in their source graph.
+func TestExtractedQueryIsContained(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := gen.Single("g", gen.SingleConfig{Nodes: 60, Edges: 150, Labels: 4, PrefAttach: 0.3, Tree: true}, seed)
+		q := Extract(r, g, 2+r.Intn(6))
+		embs, err := vf2.Match(context.Background(), q, g, 1)
+		return err == nil && len(embs) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractExhaustsSmallComponent(t *testing.T) {
+	// tiny triangle: asking for 10 edges must stop at 3
+	g := graph.MustNew("tri", []graph.Label{0, 0, 0}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	r := rand.New(rand.NewSource(1))
+	q := Extract(r, g, 10)
+	if q.M() != 3 {
+		t.Errorf("got %d edges, want 3 (component exhausted)", q.M())
+	}
+}
+
+func TestExtractEmptyGraph(t *testing.T) {
+	g := graph.MustNew("empty", nil, nil)
+	q := Extract(rand.New(rand.NewSource(1)), g, 5)
+	if q.N() != 0 {
+		t.Errorf("empty graph should yield empty query")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := gen.Synthetic(gen.SyntheticAt(gen.Tiny), 1)
+	sizes := []int{4, 8}
+	qs := Generate(ds, sizes, 5, 42)
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries, want 10", len(qs))
+	}
+	for i, q := range qs {
+		wantSize := sizes[i/5]
+		if q.WantEdges != wantSize {
+			t.Errorf("query %d: WantEdges = %d, want %d", i, q.WantEdges, wantSize)
+		}
+		if q.Source < 0 || q.Source >= len(ds) {
+			t.Errorf("query %d: bad source %d", i, q.Source)
+		}
+		if q.Graph.M() > wantSize {
+			t.Errorf("query %d: %d edges exceeds requested %d", i, q.Graph.M(), wantSize)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ds := gen.Synthetic(gen.SyntheticAt(gen.Tiny), 1)
+	a := Generate(ds, []int{6}, 4, 9)
+	b := Generate(ds, []int{6}, 4, 9)
+	for i := range a {
+		if !a[i].Graph.Equal(b[i].Graph) || a[i].Source != b[i].Source {
+			t.Fatalf("query %d differs between equal-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateSingle(t *testing.T) {
+	g := gen.YeastLike(gen.Tiny, 3)
+	qs := GenerateSingle(g, []int{5}, 3, 1)
+	if len(qs) != 3 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Source != 0 {
+			t.Errorf("single-graph source = %d", q.Source)
+		}
+	}
+}

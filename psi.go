@@ -1,0 +1,268 @@
+package psi
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"github.com/psi-graph/psi/internal/core"
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/gen"
+	"github.com/psi-graph/psi/internal/ggsx"
+	"github.com/psi-graph/psi/internal/gql"
+	"github.com/psi-graph/psi/internal/grapes"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+	"github.com/psi-graph/psi/internal/quicksi"
+	"github.com/psi-graph/psi/internal/rewrite"
+	"github.com/psi-graph/psi/internal/spath"
+	"github.com/psi-graph/psi/internal/vf2"
+	"github.com/psi-graph/psi/internal/workload"
+)
+
+// Core graph types, re-exported from the internal substrate.
+type (
+	// Graph is an immutable vertex-labeled undirected graph.
+	Graph = graph.Graph
+	// Label is a vertex label.
+	Label = graph.Label
+	// Builder incrementally constructs a Graph.
+	Builder = graph.Builder
+	// Permutation maps old vertex IDs to new ones (perm[old] = new).
+	Permutation = graph.Permutation
+	// Stats summarizes a graph (Table 2-style statistics).
+	Stats = graph.Stats
+	// DatasetStats summarizes a multi-graph dataset (Table 1-style).
+	DatasetStats = graph.DatasetStats
+)
+
+// Matching types.
+type (
+	// Embedding maps query vertices to stored-graph vertices.
+	Embedding = match.Embedding
+	// Matcher is the common contract of all matching algorithms.
+	Matcher = match.Matcher
+	// Attempt pairs an algorithm with a rewriting for racing.
+	Attempt = core.Attempt
+	// Racer runs Ψ-framework races.
+	Racer = core.Racer
+	// RaceResult is the outcome of a race, including winner provenance.
+	RaceResult = core.Result
+	// FTVIndex is the filter-then-verify contract (Grapes, GGSX).
+	FTVIndex = ftv.Index
+	// FTVRacer races query rewritings inside FTV verification.
+	FTVRacer = core.FTVRacer
+)
+
+// Rewriting identifies one of the paper's query rewritings.
+type Rewriting = rewrite.Kind
+
+// The rewritings of §6 of the paper, plus Orig (identity) and Random.
+const (
+	Orig   = rewrite.Orig
+	ILF    = rewrite.ILF
+	IND    = rewrite.IND
+	DND    = rewrite.DND
+	ILFIND = rewrite.ILFIND
+	ILFDND = rewrite.ILFDND
+	Random = rewrite.Random
+)
+
+// StructuredRewritings lists ILF, IND, DND, ILF+IND and ILF+DND in the
+// paper's order.
+func StructuredRewritings() []Rewriting {
+	return append([]Rewriting(nil), rewrite.Structured...)
+}
+
+// Algorithm names a subgraph isomorphism algorithm.
+type Algorithm string
+
+// The algorithms implemented by this module.
+const (
+	VF2     Algorithm = "VF2"
+	QuickSI Algorithm = "QSI"
+	GraphQL Algorithm = "GQL"
+	SPath   Algorithm = "SPA"
+)
+
+// NewGraph builds a graph from labels and an edge list.
+func NewGraph(name string, labels []Label, edges [][2]int) (*Graph, error) {
+	return graph.New(name, labels, edges)
+}
+
+// MustNewGraph is NewGraph but panics on error; for literals.
+func MustNewGraph(name string, labels []Label, edges [][2]int) *Graph {
+	return graph.MustNew(name, labels, edges)
+}
+
+// NewBuilder starts building a graph with the given name.
+func NewBuilder(name string) *Builder { return graph.NewBuilder(name) }
+
+// NewMatcher constructs the named algorithm over stored graph g. The
+// algorithm's preprocessing ("indexing phase") happens here; the returned
+// matcher is safe for concurrent queries.
+func NewMatcher(algo Algorithm, g *Graph) (Matcher, error) {
+	switch algo {
+	case VF2:
+		return vf2.New(g), nil
+	case QuickSI:
+		return quicksi.New(g), nil
+	case GraphQL:
+		return gql.New(g), nil
+	case SPath:
+		return spath.New(g), nil
+	}
+	return nil, fmt.Errorf("psi: unknown algorithm %q", algo)
+}
+
+// MustNewMatcher is NewMatcher but panics on an unknown algorithm.
+func MustNewMatcher(algo Algorithm, g *Graph) Matcher {
+	m, err := NewMatcher(algo, g)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewRacer returns a Ψ-framework racer with label frequencies drawn from
+// the stored graph (needed by the ILF rewritings).
+func NewRacer(g *Graph) *Racer { return core.NewRacer(g) }
+
+// NewPortfolioMatcher builds a Matcher that races the cross product of the
+// given algorithms and rewritings over stored graph g — the general form of
+// the paper's Ψ variants. It is the simplest way to consume the framework:
+//
+//	m := psi.NewPortfolioMatcher(g,
+//		[]psi.Algorithm{psi.GraphQL, psi.SPath},
+//		[]psi.Rewriting{psi.Orig, psi.DND})
+func NewPortfolioMatcher(g *Graph, algos []Algorithm, kinds []Rewriting) Matcher {
+	ms := make([]Matcher, len(algos))
+	for i, a := range algos {
+		ms[i] = MustNewMatcher(a, g)
+	}
+	name := "Ψ("
+	for i, a := range algos {
+		if i > 0 {
+			name += "/"
+		}
+		name += string(a)
+	}
+	name += ")"
+	return core.NewRacedMatcher(name, core.NewRacer(g), core.Portfolio(ms, kinds))
+}
+
+// Race runs one Ψ-framework race directly.
+func Race(ctx context.Context, g *Graph, q *Graph, limit int, attempts []Attempt) (RaceResult, error) {
+	return core.NewRacer(g).Race(ctx, q, limit, attempts)
+}
+
+// Portfolio builds the attempt cross product for Race.
+func Portfolio(matchers []Matcher, kinds []Rewriting) []Attempt {
+	return core.Portfolio(matchers, kinds)
+}
+
+// ApplyRewriting permutes q's node IDs per the rewriting, using label
+// frequencies from the stored graph g, and returns the isomorphic query
+// together with the permutation (needed to map embeddings back via
+// MapEmbeddingBack).
+func ApplyRewriting(q, g *Graph, k Rewriting) (*Graph, Permutation) {
+	return rewrite.Apply(q, rewrite.FrequenciesOf(g), k, 0)
+}
+
+// ApplyRandomRewriting permutes q's node IDs uniformly at random under the
+// given seed — the instrument of the paper's §5 variance study.
+func ApplyRandomRewriting(q *Graph, seed int64) (*Graph, Permutation) {
+	return rewrite.Apply(q, nil, rewrite.Random, seed)
+}
+
+// MapEmbeddingBack converts an embedding of a rewritten query into the
+// original query's vertex numbering.
+func MapEmbeddingBack(emb Embedding, perm Permutation) Embedding {
+	return rewrite.MapBack(emb, perm)
+}
+
+// VerifyEmbedding checks that emb is a valid non-induced subgraph
+// isomorphism of q into g.
+func VerifyEmbedding(q, g *Graph, emb Embedding) error {
+	return match.VerifyEmbedding(q, g, emb)
+}
+
+// NewGrapes builds a Grapes index (path trie with location information)
+// over a dataset, with the given worker-pool size (the paper's Grapes/1 and
+// Grapes/4 are workers=1 and workers=4).
+func NewGrapes(dataset []*Graph, workers int) FTVIndex {
+	return grapes.Build(dataset, grapes.Options{Workers: workers})
+}
+
+// NewGGSX builds a GGSX index (path suffix trie, no locations) over a
+// dataset.
+func NewGGSX(dataset []*Graph) FTVIndex {
+	return ggsx.Build(dataset, ggsx.Options{})
+}
+
+// NewFTVRacer wraps an FTV index so that every candidate-graph verification
+// races the given query rewritings (§8.1 of the paper).
+func NewFTVRacer(x FTVIndex, kinds []Rewriting) *FTVRacer {
+	return core.NewFTVRacer(x, kinds)
+}
+
+// CachedFTV is an iGQ-style query-result cache layered over any FTV index
+// (reference [19] of the paper); see internal/ftv.Cached.
+type CachedFTV = ftv.Cached
+
+// NewCachedFTV wraps an FTV index with an iGQ-style result cache holding up
+// to maxEntries remembered queries (0 means 128). Use its Answer method in
+// place of FTVAnswer.
+func NewCachedFTV(x FTVIndex, maxEntries int) *CachedFTV {
+	return ftv.NewCached(x, maxEntries)
+}
+
+// FTVAnswer runs the plain filter-then-verify pipeline and returns the IDs
+// of dataset graphs containing q.
+func FTVAnswer(ctx context.Context, x FTVIndex, q *Graph) ([]int, error) {
+	return ftv.Answer(ctx, x, q)
+}
+
+// ComputeStats summarizes one graph.
+func ComputeStats(g *Graph) Stats { return graph.ComputeStats(g) }
+
+// ComputeDatasetStats summarizes a dataset.
+func ComputeDatasetStats(name string, ds []*Graph) DatasetStats {
+	return graph.ComputeDatasetStats(name, ds)
+}
+
+// ExtractQuery grows a connected query of wantEdges edges from a random
+// vertex of g (the paper's §3.4 workload procedure), using the given seed.
+func ExtractQuery(g *Graph, wantEdges int, seed int64) *Graph {
+	return workload.Extract(rand.New(rand.NewSource(seed)), g, wantEdges)
+}
+
+// Scale selects generated dataset sizes; see the gen package presets.
+type Scale = gen.Scale
+
+// Generation scales.
+const (
+	Tiny   = gen.Tiny
+	Small  = gen.Small
+	Medium = gen.Medium
+	Paper  = gen.Paper
+)
+
+// GenerateSynthetic produces a GraphGen-style FTV dataset.
+func GenerateSynthetic(scale Scale, seed int64) []*Graph {
+	return gen.Synthetic(gen.SyntheticAt(scale), seed)
+}
+
+// GeneratePPI produces a protein-interaction-style FTV dataset.
+func GeneratePPI(scale Scale, seed int64) []*Graph {
+	return gen.PPI(gen.PPIAt(scale), seed)
+}
+
+// GenerateYeastLike produces a yeast-shaped NFV stored graph.
+func GenerateYeastLike(scale Scale, seed int64) *Graph { return gen.YeastLike(scale, seed) }
+
+// GenerateHumanLike produces a human-shaped NFV stored graph.
+func GenerateHumanLike(scale Scale, seed int64) *Graph { return gen.HumanLike(scale, seed) }
+
+// GenerateWordnetLike produces a wordnet-shaped NFV stored graph.
+func GenerateWordnetLike(scale Scale, seed int64) *Graph { return gen.WordnetLike(scale, seed) }

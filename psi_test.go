@@ -1,0 +1,224 @@
+package psi_test
+
+import (
+	"context"
+	"testing"
+
+	psi "github.com/psi-graph/psi"
+)
+
+func storedGraph() *psi.Graph {
+	// two triangles joined by a bridge, mixed labels
+	return psi.MustNewGraph("store",
+		[]psi.Label{0, 1, 2, 0, 1, 2},
+		[][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}})
+}
+
+func TestNewMatcherAllAlgorithms(t *testing.T) {
+	g := storedGraph()
+	q := psi.MustNewGraph("q", []psi.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	for _, algo := range []psi.Algorithm{psi.VF2, psi.QuickSI, psi.GraphQL, psi.SPath} {
+		m, err := psi.NewMatcher(algo, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		embs, err := m.Match(context.Background(), q, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		// two labeled triangles, each with 3 rotations... labels fix the
+		// assignment up to rotation: exactly 1 embedding per triangle.
+		if len(embs) != 2 {
+			t.Errorf("%s: got %d embeddings, want 2", algo, len(embs))
+		}
+		for _, e := range embs {
+			if err := psi.VerifyEmbedding(q, g, e); err != nil {
+				t.Errorf("%s: %v", algo, err)
+			}
+		}
+	}
+}
+
+func TestNewMatcherUnknown(t *testing.T) {
+	if _, err := psi.NewMatcher("NOPE", storedGraph()); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestPortfolioMatcher(t *testing.T) {
+	g := storedGraph()
+	m := psi.NewPortfolioMatcher(g,
+		[]psi.Algorithm{psi.GraphQL, psi.SPath},
+		[]psi.Rewriting{psi.Orig, psi.DND})
+	if m.Name() != "Ψ(GQL/SPA)" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	q := psi.MustNewGraph("q", []psi.Label{1, 2}, [][2]int{{0, 1}})
+	embs, err := m.Match(context.Background(), q, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(embs) == 0 {
+		t.Fatal("expected embeddings")
+	}
+	for _, e := range embs {
+		if err := psi.VerifyEmbedding(q, g, e); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestRaceAPI(t *testing.T) {
+	g := storedGraph()
+	attempts := psi.Portfolio(
+		[]psi.Matcher{psi.MustNewMatcher(psi.VF2, g), psi.MustNewMatcher(psi.GraphQL, g)},
+		[]psi.Rewriting{psi.Orig, psi.ILF})
+	if len(attempts) != 4 {
+		t.Fatalf("attempts = %d", len(attempts))
+	}
+	q := psi.MustNewGraph("q", []psi.Label{0, 1}, [][2]int{{0, 1}})
+	res, err := psi.Race(context.Background(), g, q, 10, attempts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contained() {
+		t.Error("query should be contained")
+	}
+	if res.Attempts != 4 {
+		t.Errorf("Attempts = %d", res.Attempts)
+	}
+}
+
+func TestApplyRewritingRoundTrip(t *testing.T) {
+	g := storedGraph()
+	q := psi.MustNewGraph("q", []psi.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}})
+	q2, perm := psi.ApplyRewriting(q, g, psi.ILFDND)
+	if q2.N() != q.N() || q2.M() != q.M() {
+		t.Fatal("rewriting changed the graph size")
+	}
+	m := psi.MustNewMatcher(psi.VF2, g)
+	embs, err := m.Match(context.Background(), q2, 1)
+	if err != nil || len(embs) == 0 {
+		t.Fatalf("rewritten query should match: %v %v", embs, err)
+	}
+	back := psi.MapEmbeddingBack(embs[0], perm)
+	if err := psi.VerifyEmbedding(q, g, back); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructuredRewritingsCopy(t *testing.T) {
+	a := psi.StructuredRewritings()
+	if len(a) != 5 {
+		t.Fatalf("got %d rewritings", len(a))
+	}
+	a[0] = psi.Orig
+	if psi.StructuredRewritings()[0] == psi.Orig {
+		t.Error("StructuredRewritings must return a copy")
+	}
+}
+
+func TestFTVPipelineAPI(t *testing.T) {
+	ds := psi.GeneratePPI(psi.Tiny, 7)
+	x := psi.NewGrapes(ds, 2)
+	q := psi.ExtractQuery(ds[0], 5, 99)
+	ids, err := psi.FTVAnswer(context.Background(), x, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range ids {
+		if id == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("source graph must contain the extracted query")
+	}
+	// raced variant returns the same answer
+	racer := psi.NewFTVRacer(x, []psi.Rewriting{psi.Orig, psi.ILF, psi.DND})
+	ids2, err := racer.Answer(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(ids2) {
+		t.Errorf("raced answer %v != plain answer %v", ids2, ids)
+	}
+	// GGSX agrees too
+	x2 := psi.NewGGSX(ds)
+	ids3, err := psi.FTVAnswer(context.Background(), x2, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids3) != len(ids) {
+		t.Errorf("GGSX answer %v != Grapes answer %v", ids3, ids)
+	}
+}
+
+func TestGeneratorsAndStats(t *testing.T) {
+	y := psi.GenerateYeastLike(psi.Tiny, 1)
+	h := psi.GenerateHumanLike(psi.Tiny, 1)
+	w := psi.GenerateWordnetLike(psi.Tiny, 1)
+	if psi.ComputeStats(h).AvgDegree <= psi.ComputeStats(y).AvgDegree {
+		t.Error("human-like should be denser than yeast-like")
+	}
+	if psi.ComputeStats(w).Labels > 5 {
+		t.Error("wordnet-like should have at most 5 labels")
+	}
+	syn := psi.GenerateSynthetic(psi.Tiny, 1)
+	st := psi.ComputeDatasetStats("syn", syn)
+	if st.NumGraphs != len(syn) {
+		t.Error("dataset stats")
+	}
+}
+
+func TestExtractQueryDeterministic(t *testing.T) {
+	g := psi.GenerateYeastLike(psi.Tiny, 2)
+	a := psi.ExtractQuery(g, 8, 5)
+	b := psi.ExtractQuery(g, 8, 5)
+	if !a.Equal(b) {
+		t.Error("same seed must reproduce the query")
+	}
+	if a.M() != 8 {
+		t.Errorf("query has %d edges", a.M())
+	}
+}
+
+func TestBuilderAPI(t *testing.T) {
+	b := psi.NewBuilder("g")
+	v0 := b.AddVertex(3)
+	v1 := b.AddVertex(4)
+	if err := b.AddEdge(v0, v1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || g.M() != 1 {
+		t.Error("builder result")
+	}
+}
+
+func TestCachedFTVAPI(t *testing.T) {
+	ds := psi.GeneratePPI(psi.Tiny, 8)
+	x := psi.NewGrapes(ds, 2)
+	cached := psi.NewCachedFTV(x, 16)
+	q := psi.ExtractQuery(ds[0], 5, 3)
+	want, err := psi.FTVAnswer(context.Background(), x, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // second round hits the cache
+		got, err := cached.Answer(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cached answer %v, plain answer %v", got, want)
+		}
+	}
+	if cached.Stats().ExactHits != 1 {
+		t.Errorf("stats = %+v, want one exact hit", cached.Stats())
+	}
+}
