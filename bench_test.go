@@ -123,6 +123,75 @@ func BenchmarkGrapesFilter(b *testing.B) {
 	}
 }
 
+// ftvAnswerBench builds the GGSX index over the Tiny synthetic dataset and
+// a workload of queries with non-trivial candidate sets — the fixture for
+// the sequential-vs-parallel FTVAnswer comparison. GGSX verifies against
+// whole stored graphs (no location pruning), so per-candidate verification
+// carries enough work for the fan-out to pay.
+func ftvAnswerBench() (psi.FTVIndex, []*psi.Graph) {
+	ds := psi.GenerateSynthetic(psi.Tiny, 1)
+	x := psi.NewGGSX(ds)
+	var queries []*psi.Graph
+	for i, g := range ds {
+		queries = append(queries,
+			psi.ExtractQuery(g, 8, int64(100+i)),
+			psi.ExtractQuery(g, 14, int64(200+i)))
+	}
+	return x, queries
+}
+
+// BenchmarkFTVAnswerSequential is the baseline: candidates verified one
+// after another on the caller's goroutine.
+func BenchmarkFTVAnswerSequential(b *testing.B) {
+	x, queries := ftvAnswerBench()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := psi.FTVAnswer(context.Background(), x, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFTVAnswerParallel fans the verification stage out across the
+// shared worker pool (one worker per CPU). On a ≥4-core machine this is the
+// ≥2× win the Ψ-framework's verification-stage parallelism predicts; results
+// are byte-identical to the sequential pipeline (see
+// TestFTVAnswerParallelMatchesSequential).
+func BenchmarkFTVAnswerParallel(b *testing.B) {
+	x, queries := ftvAnswerBench()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := psi.FTVAnswerParallel(context.Background(), x, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFTVAnswerWorkers pins explicit pool sizes so the scaling curve is
+// visible on any machine regardless of GOMAXPROCS.
+func BenchmarkFTVAnswerWorkers(b *testing.B) {
+	x, queries := ftvAnswerBench()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(byThreads(w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := psi.FTVAnswerWithOptions(context.Background(), x, q,
+						psi.FTVAnswerOptions{MaxWorkers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRaceOverhead is the ablation from DESIGN.md §7: racing k
 // identical VF2 attempts against running one, quantifying goroutine
 // instantiation + synchronization overhead (§8: "the instantiation and

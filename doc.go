@@ -30,6 +30,36 @@
 //		[]psi.Rewriting{psi.Orig, psi.DND})
 //	embs, err := m.Match(context.Background(), q, 1000)
 //
+// # Concurrency architecture
+//
+// All parallelism flows through one shared bounded execution layer
+// (internal/exec): a pool of persistent workers, one per CPU by default,
+// used by both the Ψ races and the filter-then-verify pipeline. The pool
+// offers two submission modes matched to the two shapes of parallel work:
+//
+// Fan-out (hard-bounded). Independent candidate-graph verifications —
+// FTVAnswerParallel, the cached wrapper from NewCachedFTVParallel, and the
+// candidate loop of FTVRacer.Answer — queue onto the workers, so at most
+// pool-size candidates are in flight regardless of how many the filter
+// returns. A query with hundreds of candidates no longer multiplies
+// goroutines by rewritings: in-flight work is bounded by
+// pool size × rewritings instead of candidates × rewritings.
+//
+// Races (guaranteed concurrency). The attempts inside one race (Racer.Race,
+// FTVRacer.Verify) reuse idle pool workers but are never queued behind a
+// saturated pool: a race's semantics require every attempt to run
+// concurrently, because the first finisher cancels the rest and a straggler
+// attempt may only terminate when cancelled. When workers are busy, attempts
+// run on transient goroutines whose count is bounded by the small, fixed
+// attempt count of the race.
+//
+// Determinism: parallel answers are assembled positionally from the
+// filter's ascending candidate order, so FTVAnswerParallel returns IDs
+// byte-identical to FTVAnswer, and cached statistics are unchanged. Racing
+// itself is inherently nondeterministic in *which* attempt wins, never in
+// the answer. Panics inside attempts or verifications are recovered and
+// surfaced as errors rather than crashing the process.
+//
 // See examples/ for runnable programs and cmd/psibench for the experiment
 // harness that regenerates every table and figure of the paper.
 package psi

@@ -1,0 +1,3 @@
+module github.com/psi-graph/psi
+
+go 1.24.0

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/ftv"
 	"github.com/psi-graph/psi/internal/graph"
 	"github.com/psi-graph/psi/internal/rewrite"
@@ -26,6 +27,13 @@ type FTVRacer struct {
 	// Frequencies are dataset-wide label frequencies for ILF rewritings;
 	// NewFTVRacer fills them in.
 	Frequencies rewrite.Frequencies
+	// Pool is the shared execution layer: Answer fans candidate graphs
+	// out across its workers (hard-bounded), and each candidate's
+	// rewriting race submits its attempts through the same pool. nil
+	// selects the shared default pool. In-flight goroutines are therefore
+	// bounded by pool size × len(Rewritings) instead of
+	// #candidates × len(Rewritings).
+	Pool *exec.Pool
 }
 
 // NewFTVRacer wraps an FTV index with raced rewritings.
@@ -63,9 +71,15 @@ type FTVResult struct {
 // Verify races one verification per rewriting for a single candidate graph
 // and returns the first finisher's answer. Because every rewriting yields a
 // query isomorphic to the original, all threads compute the same boolean.
+// Attempts go through the racer's pool (guaranteed-concurrency submit), so
+// idle workers are reused but the race never serializes.
 func (f *FTVRacer) Verify(ctx context.Context, q *graph.Graph, graphID int) (FTVResult, error) {
 	if len(f.Rewritings) == 0 {
 		return FTVResult{}, errors.New("psi: FTVRacer needs at least one rewriting")
+	}
+	pool := f.Pool
+	if pool == nil {
+		pool = exec.Default()
 	}
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -77,11 +91,18 @@ func (f *FTVRacer) Verify(ctx context.Context, q *graph.Graph, graphID int) (FTV
 	ch := make(chan outcome, len(f.Rewritings))
 	start := time.Now()
 	for _, k := range f.Rewritings {
-		go func(k rewrite.Kind) {
+		k := k
+		pool.Go(func() {
+			o := outcome{kind: k}
+			defer func() {
+				if rec := recover(); rec != nil {
+					o.contained, o.err = false, fmt.Errorf("psi: verification panic: %v", rec)
+				}
+				ch <- o
+			}()
 			q2, _ := rewrite.Apply(q, f.Frequencies, k, 0)
-			ok, err := f.Index.Verify(raceCtx, q2, graphID)
-			ch <- outcome{kind: k, contained: ok, err: err}
-		}(k)
+			o.contained, o.err = f.Index.Verify(raceCtx, q2, graphID)
+		})
 	}
 	var errs []error
 	for n := 0; n < len(f.Rewritings); n++ {
@@ -101,17 +122,13 @@ func (f *FTVRacer) Verify(ctx context.Context, q *graph.Graph, graphID int) (FTV
 
 // Answer runs the full decision pipeline with raced verification: filtering
 // happens once on the original query (isomorphic rewritings produce the
-// same filter outcome), then each candidate is verified by a race.
+// same filter outcome), then the candidates fan out across the pool's
+// workers (at most pool-size candidates in flight), each verified by a race
+// of the configured rewritings. The answer is assembled positionally, so
+// the returned IDs are identical to sequential verification: ascending.
 func (f *FTVRacer) Answer(ctx context.Context, q *graph.Graph) ([]int, error) {
-	var out []int
-	for _, id := range f.Index.Filter(q) {
-		res, err := f.Verify(ctx, q, id)
-		if err != nil {
-			return nil, err
-		}
-		if res.Contained {
-			out = append(out, id)
-		}
-	}
-	return out, nil
+	return ftv.VerifyCandidates(ctx, f.Pool, f.Index.Filter(q), func(gctx context.Context, id int) (bool, error) {
+		res, err := f.Verify(gctx, q, id)
+		return res.Contained, err
+	})
 }

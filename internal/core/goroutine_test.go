@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/psi-graph/psi/internal/exec"
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+	"github.com/psi-graph/psi/internal/rewrite"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+// gatedIndex is an ftv.Index whose verifications block until released,
+// counting how many run concurrently. It lets the tests observe goroutine
+// behavior mid-race instead of only before/after.
+type gatedIndex struct {
+	ds       []*graph.Graph
+	release  chan struct{}
+	inFlight atomic.Int64
+	peak     atomic.Int64
+}
+
+func newGatedIndex(n int) *gatedIndex {
+	ds := make([]*graph.Graph, n)
+	for i := range ds {
+		ds[i] = graph.MustNew("g", []graph.Label{0, 1}, [][2]int{{0, 1}})
+	}
+	return &gatedIndex{ds: ds, release: make(chan struct{})}
+}
+
+func (x *gatedIndex) Name() string            { return "gated" }
+func (x *gatedIndex) Dataset() []*graph.Graph { return x.ds }
+func (x *gatedIndex) Filter(*graph.Graph) []int {
+	ids := make([]int, len(x.ds))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func (x *gatedIndex) Verify(ctx context.Context, q *graph.Graph, id int) (bool, error) {
+	n := x.inFlight.Add(1)
+	for {
+		p := x.peak.Load()
+		if n <= p || x.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	defer x.inFlight.Add(-1)
+	select {
+	case <-x.release:
+		return true, nil
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
+}
+
+// TestFTVRacerAnswerBoundsGoroutines runs a large raced answer — 200
+// candidates × 2 rewritings = 400 verification attempts — on a 4-worker
+// pool and asserts that the goroutine count mid-race is governed by the
+// pool size (workers × rewritings plus constant overhead), not by the
+// number of attempts, and that everything is reclaimed afterwards.
+func TestFTVRacerAnswerBoundsGoroutines(t *testing.T) {
+	const (
+		candidates = 200
+		workers    = 4
+	)
+	kinds := []rewrite.Kind{rewrite.Orig, rewrite.DND}
+	x := newGatedIndex(candidates)
+	pool := exec.New(workers)
+	defer pool.Close()
+	f := NewFTVRacer(x, kinds)
+	f.Pool = pool
+
+	before := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	var answer []int
+	go func() {
+		var err error
+		answer, err = f.Answer(context.Background(), x.ds[0])
+		done <- err
+	}()
+
+	// Wait until the pool's workers are all busy racing candidates.
+	deadline := time.Now().Add(5 * time.Second)
+	for x.inFlight.Load() < int64(workers) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	during := runtime.NumGoroutine()
+	// Old behavior: one goroutine per (candidate × rewriting) = 400+.
+	// New behavior: pool workers plus their per-candidate rewriting races.
+	bound := before + workers*(len(kinds)+1) + 16
+	if during > bound {
+		t.Errorf("goroutines during race = %d (baseline %d), want <= %d — fan-out is not pool-bounded",
+			during, before, bound)
+	}
+	if peak := x.peak.Load(); peak > int64(workers*len(kinds)) {
+		t.Errorf("concurrent verifications = %d, want <= workers×rewritings = %d",
+			peak, workers*len(kinds))
+	}
+
+	close(x.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(answer) != candidates {
+		t.Errorf("answer has %d ids, want %d", len(answer), candidates)
+	}
+
+	// After: transient goroutines drain back to (near) the baseline; the
+	// pool's workers are accounted to the pool, not the race.
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+workers+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+workers+2 {
+		t.Errorf("goroutines after race = %d, baseline %d (+%d workers): leak", after, before, workers)
+	}
+}
+
+// TestRaceReleasesGoroutines is the before/after leak check for plain
+// Ψ races: a thousand small races must not accrete goroutines.
+func TestRaceReleasesGoroutines(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0, 1, 0}, [][2]int{{0, 1}, {1, 2}})
+	q := graph.MustNew("q", []graph.Label{0, 1}, [][2]int{{0, 1}})
+	racer := NewRacer(g)
+	racer.Pool = exec.New(2)
+	defer racer.Pool.Close()
+	attempts := Rewritings(vf2.New(g), []rewrite.Kind{rewrite.Orig, rewrite.ILF, rewrite.DND})
+	// Warm up so pool workers exist before the baseline is taken.
+	if _, err := racer.Race(context.Background(), q, 1, attempts); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 1000; i++ {
+		if _, err := racer.Race(context.Background(), q, 1, attempts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+4 {
+		t.Errorf("goroutines grew from %d to %d over 1000 races", before, after)
+	}
+}
+
+// TestRacePanicIsolated proves a panicking matcher surfaces as an attempt
+// error instead of crashing the process.
+func TestRacePanicIsolated(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0}, nil)
+	q := graph.MustNew("q", []graph.Label{0}, nil)
+	racer := NewRacer(g)
+	attempts := []Attempt{{Matcher: panicMatcher{}, Rewriting: rewrite.Orig}}
+	_, err := racer.Race(context.Background(), q, 1, attempts)
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("Race = %v, want attempt-panic error", err)
+	}
+}
+
+type panicMatcher struct{}
+
+func (panicMatcher) Name() string { return "PANIC" }
+func (panicMatcher) Match(context.Context, *graph.Graph, int) ([]match.Embedding, error) {
+	panic("matcher bug")
+}
+
+var _ ftv.Index = (*gatedIndex)(nil)

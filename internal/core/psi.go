@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/graph"
 	"github.com/psi-graph/psi/internal/match"
 	"github.com/psi-graph/psi/internal/rewrite"
@@ -61,6 +62,12 @@ type Racer struct {
 	// before returning; a validation failure is returned as an error.
 	// Meant for tests and debugging, not production races.
 	Validate bool
+	// Pool is the execution layer attempts are submitted through; nil
+	// selects the shared default pool (sized by the CPU count). Attempts
+	// reuse idle pool workers but are never queued behind a saturated
+	// pool — every attempt of a race runs concurrently, as the race
+	// semantics require.
+	Pool *exec.Pool
 }
 
 // NewRacer returns a Racer with label frequencies taken from the stored
@@ -75,17 +82,24 @@ func NewDatasetRacer(ds []*graph.Graph) *Racer {
 	return &Racer{Frequencies: rewrite.FrequenciesOfDataset(ds)}
 }
 
-// Race launches every attempt in its own goroutine against query q and
-// returns the first completed answer (which may legitimately be "no
+// Race launches every attempt concurrently against query q — through the
+// racer's execution pool, reusing idle workers instead of always spawning —
+// and returns the first completed answer (which may legitimately be "no
 // embeddings"), cancelling the other attempts. All attempts must be bound
 // to stored graphs with identical answer semantics (normally: the same
-// stored graph), otherwise the race is not meaningful.
+// stored graph), otherwise the race is not meaningful. A panicking matcher
+// is isolated and reported as that attempt's error rather than crashing the
+// process.
 //
 // If every attempt fails, Race returns the parent context's error when the
 // parent was cancelled, or the joined attempt errors otherwise.
 func (r *Racer) Race(ctx context.Context, q *graph.Graph, limit int, attempts []Attempt) (Result, error) {
 	if len(attempts) == 0 {
 		return Result{}, errors.New("psi: no attempts to race")
+	}
+	pool := r.Pool
+	if pool == nil {
+		pool = exec.Default()
 	}
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -97,18 +111,25 @@ func (r *Racer) Race(ctx context.Context, q *graph.Graph, limit int, attempts []
 	ch := make(chan outcome, len(attempts))
 	start := time.Now()
 	for i, a := range attempts {
-		go func(idx int, a Attempt) {
+		idx, a := i, a
+		pool.Go(func() {
+			o := outcome{idx: idx}
+			defer func() {
+				if rec := recover(); rec != nil {
+					o.embs, o.err = nil, fmt.Errorf("psi: attempt panic: %v", rec)
+				}
+				ch <- o
+			}()
 			q2, perm := rewrite.Apply(q, r.Frequencies, a.Rewriting, a.Seed)
-			embs, err := a.Matcher.Match(raceCtx, q2, limit)
-			if err == nil && a.Rewriting != rewrite.Orig {
-				mapped := make([]match.Embedding, len(embs))
-				for j, e := range embs {
+			o.embs, o.err = a.Matcher.Match(raceCtx, q2, limit)
+			if o.err == nil && a.Rewriting != rewrite.Orig {
+				mapped := make([]match.Embedding, len(o.embs))
+				for j, e := range o.embs {
 					mapped[j] = rewrite.MapBack(e, perm)
 				}
-				embs = mapped
+				o.embs = mapped
 			}
-			ch <- outcome{idx: idx, embs: embs, err: err}
-		}(i, a)
+		})
 	}
 	var errs []error
 	for n := 0; n < len(attempts); n++ {

@@ -1,0 +1,212 @@
+// Package exec provides the shared bounded-concurrency execution layer of
+// the Ψ-framework: a worker pool sized by the machine's CPU count, with two
+// submission modes matched to the two shapes of parallel work in the paper.
+//
+//   - Group (hard-bounded fan-out): independent work items — candidate-graph
+//     verifications in the FTV pipeline — queue onto the pool's workers, so
+//     at most MaxWorkers items run at once no matter how many are submitted.
+//     This is what stops a query over hundreds of candidates from
+//     multiplying goroutines by rewritings.
+//
+//   - Go (guaranteed-concurrency submit): attempts inside one Ψ race must
+//     all run concurrently — the race's whole point is that the first
+//     finisher cancels the rest, and an attempt may only terminate *because*
+//     it is cancelled. Go hands the task to an idle worker when one is
+//     available and otherwise spawns a transient goroutine, so races never
+//     serialize behind a saturated pool (which would deadlock a race whose
+//     early attempts block until a later attempt wins).
+//
+// Tasks never deadlock against each other by construction: Group work runs
+// only on pool workers and never blocks waiting for other Group work, while
+// race attempts are guaranteed their own concurrency. Panics inside tasks
+// are isolated — recovered and reported as errors — so one corrupt attempt
+// cannot crash a server racing thousands of queries.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded set of persistent worker goroutines. The zero value is
+// not usable; construct with New or use the process-wide Default pool.
+type Pool struct {
+	tasks   chan func()
+	quit    chan struct{}
+	workers int
+	closed  sync.Once
+	panics  atomic.Uint64
+}
+
+// New returns a pool with the given number of workers; maxWorkers <= 0
+// selects runtime.NumCPU(). Call Close when the pool is no longer needed
+// (the Default pool lives for the whole process and is never closed).
+func New(maxWorkers int) *Pool {
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.NumCPU()
+	}
+	p := &Pool{
+		tasks:   make(chan func()),
+		quit:    make(chan struct{}),
+		workers: maxWorkers,
+	}
+	for i := 0; i < maxWorkers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+var (
+	defaultPool *Pool
+	defaultOnce sync.Once
+)
+
+// Default returns the shared process-wide pool, sized by runtime.NumCPU().
+// The FTV pipeline and the racer use it when no explicit pool is set.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = New(0) })
+	return defaultPool
+}
+
+// Workers reports the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Panics reports how many task panics the pool has absorbed at the worker
+// level (panics in Group tasks are additionally surfaced via Wait).
+func (p *Pool) Panics() uint64 { return p.panics.Load() }
+
+// Close stops the pool's workers. Tasks already started run to completion;
+// Go falls back to transient goroutines afterwards, so a closed pool
+// degrades gracefully instead of deadlocking late submitters.
+func (p *Pool) Close() { p.closed.Do(func() { close(p.quit) }) }
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case t := <-p.tasks:
+			p.run(t)
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// run executes one task with last-resort panic isolation so a panicking
+// task can never kill a pool worker.
+func (p *Pool) run(t func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+	}()
+	t()
+}
+
+// Go runs task with guaranteed concurrency: on an idle pool worker if one
+// is ready to accept it, otherwise on a transient goroutine. It returns
+// immediately. Use it for race attempts, which must all make progress
+// concurrently; use a Group for fan-out that should be capped at the pool
+// size.
+func (p *Pool) Go(task func()) {
+	select {
+	case p.tasks <- task:
+	default:
+		go p.run(task)
+	}
+}
+
+// Group runs a batch of tasks on the pool with hard-bounded concurrency
+// (at most the pool's worker count in flight) and joins their outcomes.
+// The first task error — including a recovered panic — cancels the group's
+// context, which aborts tasks not yet started and lets running tasks exit
+// early. Construct with Pool.NewGroup; a Group must not be reused after
+// Wait returns.
+//
+// Group tasks run on pool workers and therefore must not themselves submit
+// and wait on Group work from the same pool (race attempts via Go are fine —
+// they never queue).
+type Group struct {
+	p       *Pool
+	parent  context.Context
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	skipped atomic.Bool // a task was dropped or skipped by cancellation
+
+	mu   sync.Mutex
+	errs []error
+}
+
+// NewGroup returns a Group whose tasks observe a context derived from ctx.
+func (p *Pool) NewGroup(ctx context.Context) *Group {
+	gctx, cancel := context.WithCancel(ctx)
+	return &Group{p: p, parent: ctx, ctx: gctx, cancel: cancel}
+}
+
+// Context returns the group's context, cancelled on the first task error.
+func (g *Group) Context() context.Context { return g.ctx }
+
+// fail records err (first error wins the joined report's front slot) and
+// cancels the group so queued tasks drain without doing their work.
+func (g *Group) fail(err error) {
+	g.mu.Lock()
+	g.errs = append(g.errs, err)
+	g.mu.Unlock()
+	g.cancel()
+}
+
+// Go submits fn to the pool, blocking while all workers are busy. Submission
+// is context-aware: if the group is cancelled before a worker frees up, fn
+// is dropped (Wait then reports the cancellation). Once running, fn receives
+// the group context and its error (or panic) is captured for Wait.
+func (g *Group) Go(fn func(ctx context.Context) error) {
+	g.wg.Add(1)
+	task := func() {
+		defer g.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.fail(fmt.Errorf("exec: task panic: %v", r))
+			}
+		}()
+		if err := g.ctx.Err(); err != nil {
+			g.skipped.Store(true)
+			return
+		}
+		if err := fn(g.ctx); err != nil {
+			g.fail(err)
+		}
+	}
+	select {
+	case g.p.tasks <- task:
+	case <-g.ctx.Done():
+		g.skipped.Store(true)
+		g.wg.Done()
+	case <-g.p.quit:
+		// Pool closed under us: run transiently rather than deadlock.
+		go task()
+	}
+}
+
+// Wait blocks until every submitted task has finished or been dropped by
+// cancellation, then releases the group's context and returns the joined
+// task errors — or the parent context's error when tasks were actually
+// dropped by outside cancellation. A batch whose every task completed
+// returns nil even if the parent context expired just after the last task
+// finished: the computed result is complete, so it is not discarded.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.errs) == 0 {
+		if g.skipped.Load() {
+			return g.parent.Err()
+		}
+		return nil
+	}
+	return errors.Join(g.errs...)
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/graph"
 	"github.com/psi-graph/psi/internal/vf2"
 )
@@ -52,6 +53,7 @@ type cacheEntry struct {
 type Cached struct {
 	index      ftvIndex
 	maxEntries int
+	pool       *exec.Pool // nil: verify candidates sequentially
 
 	mu      sync.Mutex
 	entries []cacheEntry // FIFO eviction
@@ -74,6 +76,19 @@ func NewCached(x Index, maxEntries int) *Cached {
 		maxEntries = 128
 	}
 	return &Cached{index: x, maxEntries: maxEntries}
+}
+
+// NewCachedParallel is NewCached with the residual verifications (the
+// candidates the cache could not resolve) fanned out across pool p; p == nil
+// selects the shared default pool. Answers and cache statistics are
+// identical to the sequential wrapper.
+func NewCachedParallel(x Index, maxEntries int, p *exec.Pool) *Cached {
+	c := NewCached(x, maxEntries)
+	if p == nil {
+		p = exec.Default()
+	}
+	c.pool = p
+	return c
 }
 
 // Name identifies the wrapped configuration.
@@ -162,19 +177,35 @@ func (c *Cached) Answer(ctx context.Context, q *graph.Graph) ([]int, error) {
 	}
 
 	answers := make(map[int]bool, len(candidates))
-	verifications := 0
+	var toVerify []int
 	for id := range candidates {
 		if definite[id] {
 			answers[id] = true
-			continue
+		} else {
+			toVerify = append(toVerify, id)
 		}
-		ok, err := c.index.Verify(ctx, q, id)
-		verifications++
+	}
+	sort.Ints(toVerify)
+	verifications := len(toVerify)
+	if c.pool != nil {
+		verified, err := VerifyCandidates(ctx, c.pool, toVerify, func(gctx context.Context, id int) (bool, error) {
+			return c.index.Verify(gctx, q, id)
+		})
 		if err != nil {
 			return nil, err
 		}
-		if ok {
+		for _, id := range verified {
 			answers[id] = true
+		}
+	} else {
+		for _, id := range toVerify {
+			ok, err := c.index.Verify(ctx, q, id)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				answers[id] = true
+			}
 		}
 	}
 

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"sort"
 
+	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/graph"
 )
 
@@ -39,7 +40,7 @@ type Index interface {
 }
 
 // Answer runs the full decision pipeline — filter, then verify every
-// candidate — and returns the IDs of graphs containing q.
+// candidate sequentially — and returns the IDs of graphs containing q.
 func Answer(ctx context.Context, x Index, q *graph.Graph) ([]int, error) {
 	var out []int
 	for _, id := range x.Filter(q) {
@@ -54,7 +55,132 @@ func Answer(ctx context.Context, x Index, q *graph.Graph) ([]int, error) {
 	return out, nil
 }
 
-// PathKey encodes a label sequence as a string usable as a map key.
+// ParallelAnswer is Answer with the verification stage fanned out across the
+// pool's workers (nil selects the shared default pool). Candidates verify
+// independently — the stage the paper identifies as the dominant cost — while
+// the answer is assembled positionally, so the returned IDs are identical,
+// byte for byte, to the sequential pipeline's ascending order. The first
+// verification error cancels the remaining candidates.
+func ParallelAnswer(ctx context.Context, x Index, q *graph.Graph, p *exec.Pool) ([]int, error) {
+	return VerifyCandidates(ctx, p, x.Filter(q), func(gctx context.Context, id int) (bool, error) {
+		return x.Verify(gctx, q, id)
+	})
+}
+
+// VerifyCandidates runs check over a candidate ID list across the pool's
+// workers and returns the IDs that checked out, preserving the input order.
+// This is the one fan-out-and-assemble shape shared by ParallelAnswer, the
+// cached wrapper, and the FTV racer's candidate loop.
+func VerifyCandidates(ctx context.Context, p *exec.Pool, ids []int, check func(ctx context.Context, id int) (bool, error)) ([]int, error) {
+	hits, err := ParallelHits(ctx, p, len(ids), func(gctx context.Context, i int) (bool, error) {
+		return check(gctx, ids[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for i, hit := range hits {
+		if hit {
+			out = append(out, ids[i])
+		}
+	}
+	return out, nil
+}
+
+// ParallelHits evaluates check(ctx, i) for every i in [0, n) across the
+// pool's workers (nil selects the shared default pool; n <= 1 runs on the
+// caller's goroutine) and returns the outcomes indexed positionally. The
+// first error cancels the remaining work and is returned.
+func ParallelHits(ctx context.Context, p *exec.Pool, n int, check func(ctx context.Context, i int) (bool, error)) ([]bool, error) {
+	hits := make([]bool, n)
+	if n <= 1 {
+		for i := range hits {
+			ok, err := check(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			hits[i] = ok
+		}
+		return hits, nil
+	}
+	if p == nil {
+		p = exec.Default()
+	}
+	grp := p.NewGroup(ctx)
+	for i := range hits {
+		i := i
+		grp.Go(func(gctx context.Context) error {
+			ok, err := check(gctx, i)
+			if err != nil {
+				return err
+			}
+			hits[i] = ok
+			return nil
+		})
+	}
+	if err := grp.Wait(); err != nil {
+		return nil, err
+	}
+	return hits, nil
+}
+
+// Key is a comparable path-feature key. Label sequences of up to
+// DefaultMaxPathLen edges (5 labels) whose labels all fit in 12 bits — true
+// of every paper dataset, whose alphabets top out at 184 — pack into a
+// single uint64 with zero allocation; longer sequences or larger labels
+// fall back to the allocating string encoding of PathKey. The two forms
+// never collide: packed keys are non-zero while fallback keys leave packed
+// at zero.
+type Key struct {
+	packed uint64
+	str    string
+}
+
+const (
+	packedKeyLabels    = DefaultMaxPathLen + 1 // vertices on a 4-edge path
+	packedKeyLabelBits = 12
+	packedKeyLabelMax  = 1<<packedKeyLabelBits - 1
+)
+
+// MakeKey encodes a label sequence as a map key, packing when possible.
+func MakeKey(labels []graph.Label) Key {
+	if len(labels) <= packedKeyLabels {
+		v := uint64(len(labels) + 1)
+		for _, l := range labels {
+			if uint32(l) > packedKeyLabelMax {
+				return Key{str: PathKey(labels)}
+			}
+			v = v<<packedKeyLabelBits | uint64(l)
+		}
+		return Key{packed: v}
+	}
+	return Key{str: PathKey(labels)}
+}
+
+// Labels decodes the key back into its label sequence; used by diagnostics
+// and tests.
+func (k Key) Labels() []graph.Label {
+	if k.packed == 0 {
+		return DecodePathKey(k.str)
+	}
+	// The packed form is (len+1) << (12·len) | labels, so the length is
+	// the unique n with packed >> (12·n) == n+1.
+	for n := 0; n <= packedKeyLabels; n++ {
+		if k.packed>>(packedKeyLabelBits*n) == uint64(n+1) {
+			out := make([]graph.Label, n)
+			v := k.packed
+			for i := n - 1; i >= 0; i-- {
+				out[i] = graph.Label(v & packedKeyLabelMax)
+				v >>= packedKeyLabelBits
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// PathKey encodes a label sequence as a string usable as a map key — the
+// allocating fallback encoding behind MakeKey.
 func PathKey(labels []graph.Label) string {
 	buf := make([]byte, 4*len(labels))
 	for i, l := range labels {
@@ -86,11 +212,11 @@ type PathFeature struct {
 // both directions, as the DFS from every start vertex naturally does) and
 // aggregates them by label sequence. When withLocations is true each
 // feature also records the vertices covered by its occurrences.
-func ExtractFeatures(g *graph.Graph, maxLen int, withLocations bool) map[string]*PathFeature {
-	feats := make(map[string]*PathFeature)
-	var locSets map[string]map[int32]struct{}
+func ExtractFeatures(g *graph.Graph, maxLen int, withLocations bool) map[Key]*PathFeature {
+	feats := make(map[Key]*PathFeature)
+	var locSets map[Key]map[int32]struct{}
 	if withLocations {
-		locSets = make(map[string]map[int32]struct{})
+		locSets = make(map[Key]map[int32]struct{})
 	}
 	labelBuf := make([]graph.Label, 0, maxLen+1)
 	g.EnumeratePaths(maxLen, func(path []int32) {
@@ -98,7 +224,7 @@ func ExtractFeatures(g *graph.Graph, maxLen int, withLocations bool) map[string]
 		for _, v := range path {
 			labelBuf = append(labelBuf, g.Label(int(v)))
 		}
-		key := PathKey(labelBuf)
+		key := MakeKey(labelBuf)
 		f := feats[key]
 		if f == nil {
 			lbls := make([]graph.Label, len(labelBuf))
@@ -143,11 +269,11 @@ type QueryFeature struct {
 // maximal paths are a lower bound on total path occurrences in any graph
 // containing the query, so frequency pruning against indexed counts is
 // sound.
-func QueryFeatures(q *graph.Graph, maxLen int) map[string]*QueryFeature {
-	out := make(map[string]*QueryFeature)
+func QueryFeatures(q *graph.Graph, maxLen int) map[Key]*QueryFeature {
+	out := make(map[Key]*QueryFeature)
 	for _, p := range q.MaximalPaths(maxLen) {
 		lbls := q.LabelPath(p)
-		key := PathKey(lbls)
+		key := MakeKey(lbls)
 		f := out[key]
 		if f == nil {
 			f = &QueryFeature{Labels: lbls}

@@ -2,8 +2,10 @@ package ftv
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
+	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/graph"
 )
 
@@ -40,14 +42,14 @@ func TestExtractFeaturesPathGraph(t *testing.T) {
 	if len(feats) != 6 {
 		t.Fatalf("got %d features, want 6", len(feats))
 	}
-	f := feats[PathKey([]graph.Label{10, 11, 12})]
+	f := feats[MakeKey([]graph.Label{10, 11, 12})]
 	if f == nil || f.Count != 1 {
 		t.Fatalf("a-b-c feature = %+v", f)
 	}
 	if len(f.Locations) != 3 {
 		t.Errorf("a-b-c locations = %v, want all 3 vertices", f.Locations)
 	}
-	f2 := feats[PathKey([]graph.Label{11, 10})]
+	f2 := feats[MakeKey([]graph.Label{11, 10})]
 	if f2 == nil || f2.Count != 1 {
 		t.Fatalf("b-a feature = %+v", f2)
 	}
@@ -60,7 +62,7 @@ func TestExtractFeaturesCountsMultipleOccurrences(t *testing.T) {
 	// star: center label 0, two leaves label 1: path 1-0 occurs twice
 	g := graph.MustNew("s", []graph.Label{0, 1, 1}, [][2]int{{0, 1}, {0, 2}})
 	feats := ExtractFeatures(g, 2, false)
-	f := feats[PathKey([]graph.Label{1, 0})]
+	f := feats[MakeKey([]graph.Label{1, 0})]
 	if f == nil || f.Count != 2 {
 		t.Fatalf("leaf-center feature = %+v, want count 2", f)
 	}
@@ -68,7 +70,7 @@ func TestExtractFeaturesCountsMultipleOccurrences(t *testing.T) {
 		t.Error("locations must be nil when not requested")
 	}
 	// 1-0-1 path occurs twice (both directions)
-	f2 := feats[PathKey([]graph.Label{1, 0, 1})]
+	f2 := feats[MakeKey([]graph.Label{1, 0, 1})]
 	if f2 == nil || f2.Count != 2 {
 		t.Fatalf("leaf-center-leaf feature = %+v, want count 2", f2)
 	}
@@ -83,13 +85,13 @@ func TestQueryFeaturesMaximalOnly(t *testing.T) {
 	if len(feats) != 4 {
 		t.Fatalf("got %d query features, want 4", len(feats))
 	}
-	if feats[PathKey([]graph.Label{10, 11, 12})] == nil {
+	if feats[MakeKey([]graph.Label{10, 11, 12})] == nil {
 		t.Error("missing maximal path a-b-c")
 	}
-	if feats[PathKey([]graph.Label{11, 10})] == nil {
+	if feats[MakeKey([]graph.Label{11, 10})] == nil {
 		t.Error("missing maximal path b-a")
 	}
-	if feats[PathKey([]graph.Label{10, 11})] != nil {
+	if feats[MakeKey([]graph.Label{10, 11})] != nil {
 		t.Error("non-maximal prefix a-b must not be a query feature")
 	}
 }
@@ -124,5 +126,129 @@ func TestAnswerPipeline(t *testing.T) {
 	}
 	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
 		t.Errorf("Answer = %v, want [0 2]", got)
+	}
+}
+
+func TestMakeKeyPackedRoundTrip(t *testing.T) {
+	seqs := [][]graph.Label{
+		{}, {0}, {0, 0}, {1, 2}, {5, 5, 5}, {4095, 0, 4095}, {1, 2, 3, 4, 5},
+	}
+	for _, s := range seqs {
+		k := MakeKey(s)
+		if k.packed == 0 {
+			t.Errorf("MakeKey(%v) did not pack (str fallback %q)", s, k.str)
+		}
+		got := k.Labels()
+		if len(got) != len(s) {
+			t.Fatalf("Labels() of %v = %v", s, got)
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				t.Fatalf("Labels() of %v = %v", s, got)
+			}
+		}
+	}
+}
+
+func TestMakeKeyFallback(t *testing.T) {
+	big := []graph.Label{4096, 1}           // label beyond 12 bits
+	long := []graph.Label{1, 2, 3, 4, 5, 6} // more than 5 labels
+	for _, s := range [][]graph.Label{big, long} {
+		k := MakeKey(s)
+		if k.packed != 0 || k.str == "" {
+			t.Errorf("MakeKey(%v) = %+v, want string fallback", s, k)
+		}
+		got := k.Labels()
+		for i := range s {
+			if got[i] != s[i] {
+				t.Fatalf("fallback Labels() of %v = %v", s, got)
+			}
+		}
+	}
+}
+
+func TestMakeKeyDistinguishesSequences(t *testing.T) {
+	seqs := [][]graph.Label{
+		{}, {0}, {0, 0}, {0, 0, 0}, {1}, {1, 0}, {0, 1}, {1, 2}, {2, 1},
+		{1, 2, 0}, {4095}, {4095, 4095}, {4096}, {1, 2, 3, 4, 5, 6},
+	}
+	seen := make(map[Key]int)
+	for i, s := range seqs {
+		k := MakeKey(s)
+		if j, dup := seen[k]; dup {
+			t.Errorf("sequences %v and %v share key %+v", seqs[j], s, k)
+		}
+		seen[k] = i
+	}
+}
+
+// slowIndex adds artificial per-candidate work so parallel speedup and
+// cancellation behavior are observable.
+type slowIndex struct {
+	fakeIndex
+	errOn int // graph ID whose verification fails, -1 for none
+}
+
+func (s *slowIndex) Verify(ctx context.Context, q *graph.Graph, id int) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if id == s.errOn {
+		return false, fmt.Errorf("verify %d failed", id)
+	}
+	return id%3 != 1, nil
+}
+
+func TestParallelAnswerMatchesSequential(t *testing.T) {
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = i
+	}
+	x := &slowIndex{fakeIndex: fakeIndex{filtered: ids}, errOn: -1}
+	want, err := Answer(context.Background(), x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := exec.New(workers)
+		got, err := ParallelAnswer(context.Background(), x, nil, p)
+		p.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: ParallelAnswer = %v, want %v", workers, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: ParallelAnswer = %v, want %v", workers, got, want)
+			}
+		}
+	}
+}
+
+func TestParallelAnswerPropagatesError(t *testing.T) {
+	ids := make([]int, 20)
+	for i := range ids {
+		ids[i] = i
+	}
+	x := &slowIndex{fakeIndex: fakeIndex{filtered: ids}, errOn: 7}
+	p := exec.New(4)
+	defer p.Close()
+	if _, err := ParallelAnswer(context.Background(), x, nil, p); err == nil {
+		t.Fatal("expected verification error to propagate")
+	}
+}
+
+func TestParallelAnswerContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ids := make([]int, 20)
+	for i := range ids {
+		ids[i] = i
+	}
+	x := &slowIndex{fakeIndex: fakeIndex{filtered: ids}, errOn: -1}
+	if _, err := ParallelAnswer(ctx, x, nil, nil); err == nil {
+		t.Fatal("expected context error")
 	}
 }

@@ -26,10 +26,9 @@ const DefaultRefineLevel = 4
 
 // Matcher is a GraphQL instance bound to a stored graph.
 type Matcher struct {
-	g       *graph.Graph
-	byLabel map[graph.Label][]int32
-	sig     [][]graph.Label // per-vertex sorted neighbour labels
-	refine  int
+	g      *graph.Graph
+	sig    [][]graph.Label // per-vertex sorted neighbour labels
+	refine int
 }
 
 // New builds the GraphQL index for g with the default refinement level.
@@ -37,7 +36,7 @@ func New(g *graph.Graph) *Matcher { return NewWithRefinement(g, DefaultRefineLev
 
 // NewWithRefinement builds the index with an explicit pseudo-iso level.
 func NewWithRefinement(g *graph.Graph, refine int) *Matcher {
-	m := &Matcher{g: g, byLabel: g.VerticesByLabel(), refine: refine}
+	m := &Matcher{g: g, refine: refine}
 	m.sig = make([][]graph.Label, g.N())
 	for v := 0; v < g.N(); v++ {
 		m.sig[v] = signature(g, v)
@@ -142,7 +141,7 @@ func (m *Matcher) candidates(q *graph.Graph, budget *match.Budget) ([][]int32, e
 	}
 	cand := make([][]int32, q.N())
 	for u := 0; u < q.N(); u++ {
-		for _, v := range m.byLabel[q.Label(u)] {
+		for _, v := range m.g.VerticesWithLabel(q.Label(u)) {
 			if err := budget.Step(); err != nil {
 				return nil, err
 			}

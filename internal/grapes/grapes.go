@@ -56,7 +56,7 @@ type Index struct {
 func Build(ds []*graph.Graph, opts Options) *Index {
 	opts = opts.withDefaults()
 	x := &Index{ds: ds, opts: opts, trie: newPathTrie()}
-	results := make([]map[string]*ftv.PathFeature, len(ds))
+	results := make([]map[ftv.Key]*ftv.PathFeature, len(ds))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opts.Workers)
 	for id := range ds {

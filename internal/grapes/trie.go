@@ -34,7 +34,7 @@ type pathTrie struct {
 func newPathTrie() *pathTrie { return &pathTrie{root: newTrieNode()} }
 
 // insert merges one graph's extracted features into the trie.
-func (t *pathTrie) insert(graphID int, feats map[string]*ftv.PathFeature) {
+func (t *pathTrie) insert(graphID int, feats map[ftv.Key]*ftv.PathFeature) {
 	for _, f := range feats {
 		node := t.root
 		for _, l := range f.Labels {

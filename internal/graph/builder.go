@@ -104,26 +104,31 @@ func (b *Builder) Build() (*Graph, error) {
 		deg[e[0]]++
 		deg[e[1]]++
 	}
-	adj := make([][]int32, n)
-	elab := make([][]Label, n)
-	for v := range adj {
-		adj[v] = make([]int32, 0, deg[v])
-		elab[v] = make([]Label, 0, deg[v])
+	// CSR layout: offsets by prefix sum over degrees, then fill each
+	// vertex's range through a moving cursor.
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + int32(deg[v])
 	}
+	nbrs := make([]int32, 2*len(b.edges))
+	elabs := make([]Label, 2*len(b.edges))
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
 	for _, idx := range order {
 		e, l := b.edges[idx], b.edgeLabel[idx]
-		adj[e[0]] = append(adj[e[0]], e[1])
-		elab[e[0]] = append(elab[e[0]], l)
-		adj[e[1]] = append(adj[e[1]], e[0])
-		elab[e[1]] = append(elab[e[1]], l)
+		nbrs[cursor[e[0]]], elabs[cursor[e[0]]] = e[1], l
+		cursor[e[0]]++
+		nbrs[cursor[e[1]]], elabs[cursor[e[1]]] = e[0], l
+		cursor[e[1]]++
 	}
-	// Appending edges in (u,v)-sorted order leaves each adj[v] with its
-	// lower neighbors (added as e[1] endpoints, ascending in e[0]) before
-	// its higher neighbors (added as e[0] endpoints, ascending in e[1]),
-	// i.e. already sorted — but only per half; merge-fix with a stable
-	// insertion pass that carries labels along.
-	for v := range adj {
-		a, l := adj[v], elab[v]
+	// Appending edges in (u,v)-sorted order leaves each vertex range with
+	// its lower neighbors (added as e[1] endpoints, ascending in e[0])
+	// before its higher neighbors (added as e[0] endpoints, ascending in
+	// e[1]), i.e. already sorted — but only per half; merge-fix with a
+	// stable insertion pass that carries labels along.
+	for v := 0; v < n; v++ {
+		a := nbrs[offsets[v]:offsets[v+1]]
+		l := elabs[offsets[v]:offsets[v+1]]
 		for i := 1; i < len(a); i++ {
 			for j := i; j > 0 && a[j] < a[j-1]; j-- {
 				a[j], a[j-1] = a[j-1], a[j]
@@ -142,7 +147,9 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	labels := make([]Label, n)
 	copy(labels, b.labels)
-	return &Graph{name: b.name, labels: labels, adj: adj, elab: elab, m: len(b.edges), maxLbl: maxLbl}, nil
+	g := &Graph{name: b.name, labels: labels, offsets: offsets, nbrs: nbrs, elabs: elabs, m: len(b.edges), maxLbl: maxLbl}
+	g.buildLabelIndex()
+	return g, nil
 }
 
 // MustBuild is Build but panics on error; for fixtures built from literals.

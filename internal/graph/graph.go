@@ -24,16 +24,35 @@ type Label int32
 // which makes edge-unlabeled graphs a special case with zero overhead in
 // the matching algorithms.
 //
+// Adjacency is stored in CSR (compressed sparse row) form: one flat
+// neighbors array indexed by a per-vertex offsets array, with a parallel
+// flat edge-label array. Vertex v's sorted neighbor list is
+// neighbors[offsets[v]:offsets[v+1]]. The flat layout keeps each traversal
+// within one contiguous allocation, which is what makes shared-memory
+// subgraph matching cache-friendly.
+//
+// A precomputed label index (vertices sorted by (label, ID), with one range
+// per distinct label) replaces the per-matcher map[Label][]int32 the
+// algorithms used to build.
+//
 // The zero value is an empty graph. Construct non-trivial graphs with a
 // Builder or with New. All accessors are safe for concurrent use because
 // the structure is never mutated after construction.
 type Graph struct {
-	name   string
-	labels []Label
-	adj    [][]int32 // sorted neighbor lists
-	elab   [][]Label // elab[v][i] labels the edge {v, adj[v][i]}
-	m      int       // number of undirected edges
-	maxLbl Label     // largest vertex label present, -1 if none
+	name    string
+	labels  []Label
+	offsets []int32 // len N()+1; offsets[v]..offsets[v+1] index neighbors/elabs
+	nbrs    []int32 // flat sorted neighbor lists, len 2*M()
+	elabs   []Label // elabs[i] labels the edge {v, nbrs[i]} for i in v's range
+	m       int     // number of undirected edges
+	maxLbl  Label   // largest vertex label present, -1 if none
+
+	// Label index: lblOrder holds all vertices sorted by (label, ID);
+	// lblVals lists the distinct labels ascending and lblStart[i] is the
+	// start of lblVals[i]'s range in lblOrder (len(lblVals)+1 entries).
+	lblOrder []int32
+	lblVals  []Label
+	lblStart []int32
 }
 
 // New constructs a graph directly from a label slice and an edge list.
@@ -82,26 +101,26 @@ func (g *Graph) Labels() []Label { return g.labels }
 func (g *Graph) MaxLabel() Label { return g.maxLbl }
 
 // Degree returns the number of edges incident to v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
 
 // Neighbors returns the sorted neighbor list of v. Callers must not modify
 // the returned slice; it aliases the graph's internal storage.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+func (g *Graph) Neighbors(v int) []int32 { return g.nbrs[g.offsets[v]:g.offsets[v+1]] }
 
 // HasEdge reports whether the undirected edge {u, v} is present.
 // It runs in O(log deg(u)) via binary search on the sorted adjacency list.
 func (g *Graph) HasEdge(u, v int) bool {
-	a := g.adj[u]
+	a := g.Neighbors(u)
 	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
 	return i < len(a) && a[i] == int32(v)
 }
 
 // EdgeLabel returns the label of edge {u, v}, or -1 if the edge is absent.
 func (g *Graph) EdgeLabel(u, v int) Label {
-	a := g.adj[u]
+	a := g.Neighbors(u)
 	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
 	if i < len(a) && a[i] == int32(v) {
-		return g.elab[u][i]
+		return g.elabs[g.offsets[u]+int32(i)]
 	}
 	return -1
 }
@@ -110,23 +129,21 @@ func (g *Graph) EdgeLabel(u, v int) Label {
 // compatibility check matchers use when mapping a query edge onto a stored
 // edge (Definition 3 requires L(e) to be preserved).
 func (g *Graph) HasEdgeLabeled(u, v int, l Label) bool {
-	a := g.adj[u]
+	a := g.Neighbors(u)
 	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
-	return i < len(a) && a[i] == int32(v) && g.elab[u][i] == l
+	return i < len(a) && a[i] == int32(v) && g.elabs[g.offsets[u]+int32(i)] == l
 }
 
 // EdgeLabels reports the neighbor-aligned edge labels of v: entry i labels
 // the edge to Neighbors(v)[i]. Callers must not modify the slice.
-func (g *Graph) EdgeLabels(v int) []Label { return g.elab[v] }
+func (g *Graph) EdgeLabels(v int) []Label { return g.elabs[g.offsets[v]:g.offsets[v+1]] }
 
 // HasEdgeLabelsBeyondDefault reports whether any edge carries a non-zero
 // label; indexes use it to decide whether edge-label pruning can pay off.
 func (g *Graph) HasEdgeLabelsBeyondDefault() bool {
-	for _, ls := range g.elab {
-		for _, l := range ls {
-			if l != 0 {
-				return true
-			}
+	for _, l := range g.elabs {
+		if l != 0 {
+			return true
 		}
 	}
 	return false
@@ -135,8 +152,8 @@ func (g *Graph) HasEdgeLabelsBeyondDefault() bool {
 // Edges calls fn once per undirected edge with u < v. Iteration order is
 // deterministic (ascending u, then ascending v).
 func (g *Graph) Edges(fn func(u, v int)) {
-	for u := range g.adj {
-		for _, w := range g.adj[u] {
+	for u := 0; u < g.N(); u++ {
+		for _, w := range g.Neighbors(u) {
 			if int(w) > u {
 				fn(u, int(w))
 			}
@@ -147,10 +164,11 @@ func (g *Graph) Edges(fn func(u, v int)) {
 // LabeledEdges calls fn once per undirected edge with u < v and the edge's
 // label.
 func (g *Graph) LabeledEdges(fn func(u, v int, l Label)) {
-	for u := range g.adj {
-		for i, w := range g.adj[u] {
+	for u := 0; u < g.N(); u++ {
+		base := g.offsets[u]
+		for i, w := range g.Neighbors(u) {
 			if int(w) > u {
-				fn(u, int(w), g.elab[u][i])
+				fn(u, int(w), g.elabs[base+int32(i)])
 			}
 		}
 	}
@@ -166,24 +184,61 @@ func (g *Graph) EdgeList() [][2]int {
 // LabelFrequencies returns a map from label to the number of vertices
 // carrying it.
 func (g *Graph) LabelFrequencies() map[Label]int {
-	f := make(map[Label]int)
-	for _, l := range g.labels {
-		f[l]++
+	f := make(map[Label]int, len(g.lblVals))
+	for i, l := range g.lblVals {
+		f[l] = int(g.lblStart[i+1] - g.lblStart[i])
 	}
 	return f
 }
 
 // DistinctLabels returns the number of distinct vertex labels.
-func (g *Graph) DistinctLabels() int { return len(g.LabelFrequencies()) }
+func (g *Graph) DistinctLabels() int { return len(g.lblVals) }
+
+// VerticesWithLabel returns the ascending list of vertices carrying label l
+// (empty if none), as a subslice of the graph's precomputed label index.
+// Callers must not modify the returned slice. This is the O(log L) range
+// lookup the matching algorithms use for candidate generation.
+func (g *Graph) VerticesWithLabel(l Label) []int32 {
+	i := sort.Search(len(g.lblVals), func(i int) bool { return g.lblVals[i] >= l })
+	if i == len(g.lblVals) || g.lblVals[i] != l {
+		return nil
+	}
+	return g.lblOrder[g.lblStart[i]:g.lblStart[i+1]]
+}
 
 // VerticesByLabel returns, for each label, the ascending list of vertices
-// carrying it. This is the basic inverted index every NFV method starts from.
+// carrying it. The returned lists alias the graph's label index; callers
+// must not modify them. Prefer VerticesWithLabel for single-label lookups —
+// it avoids materializing the map.
 func (g *Graph) VerticesByLabel() map[Label][]int32 {
-	idx := make(map[Label][]int32)
-	for v, l := range g.labels {
-		idx[l] = append(idx[l], int32(v))
+	idx := make(map[Label][]int32, len(g.lblVals))
+	for i, l := range g.lblVals {
+		idx[l] = g.lblOrder[g.lblStart[i]:g.lblStart[i+1]]
 	}
 	return idx
+}
+
+// buildLabelIndex populates lblOrder/lblVals/lblStart from labels. Vertices
+// are sorted by (label, ID), so each label's range is ascending by ID.
+func (g *Graph) buildLabelIndex() {
+	n := len(g.labels)
+	g.lblOrder = make([]int32, n)
+	for i := range g.lblOrder {
+		g.lblOrder[i] = int32(i)
+	}
+	sort.SliceStable(g.lblOrder, func(i, j int) bool {
+		return g.labels[g.lblOrder[i]] < g.labels[g.lblOrder[j]]
+	})
+	g.lblVals = g.lblVals[:0]
+	g.lblStart = g.lblStart[:0]
+	for i, v := range g.lblOrder {
+		l := g.labels[v]
+		if len(g.lblVals) == 0 || g.lblVals[len(g.lblVals)-1] != l {
+			g.lblVals = append(g.lblVals, l)
+			g.lblStart = append(g.lblStart, int32(i))
+		}
+	}
+	g.lblStart = append(g.lblStart, int32(n))
 }
 
 // String implements fmt.Stringer with a compact one-line summary.
@@ -194,17 +249,19 @@ func (g *Graph) String() string {
 // Clone returns a deep copy with the given name. Cloning is rarely needed
 // (graphs are immutable) but supports renaming dataset entries.
 func (g *Graph) Clone(name string) *Graph {
-	labels := make([]Label, len(g.labels))
-	copy(labels, g.labels)
-	adj := make([][]int32, len(g.adj))
-	elab := make([][]Label, len(g.elab))
-	for i, a := range g.adj {
-		adj[i] = make([]int32, len(a))
-		copy(adj[i], a)
-		elab[i] = make([]Label, len(g.elab[i]))
-		copy(elab[i], g.elab[i])
+	h := &Graph{
+		name:     name,
+		labels:   append([]Label(nil), g.labels...),
+		offsets:  append([]int32(nil), g.offsets...),
+		nbrs:     append([]int32(nil), g.nbrs...),
+		elabs:    append([]Label(nil), g.elabs...),
+		m:        g.m,
+		maxLbl:   g.maxLbl,
+		lblOrder: append([]int32(nil), g.lblOrder...),
+		lblVals:  append([]Label(nil), g.lblVals...),
+		lblStart: append([]int32(nil), g.lblStart...),
 	}
-	return &Graph{name: name, labels: labels, adj: adj, elab: elab, m: g.m, maxLbl: g.maxLbl}
+	return h
 }
 
 // Equal reports whether g and h are identical as labeled graphs on the same
@@ -217,11 +274,13 @@ func (g *Graph) Equal(h *Graph) bool {
 		if g.labels[v] != h.labels[v] {
 			return false
 		}
-		if len(g.adj[v]) != len(h.adj[v]) {
+		ga, ha := g.Neighbors(v), h.Neighbors(v)
+		if len(ga) != len(ha) {
 			return false
 		}
-		for i := range g.adj[v] {
-			if g.adj[v][i] != h.adj[v][i] || g.elab[v][i] != h.elab[v][i] {
+		gl, hl := g.EdgeLabels(v), h.EdgeLabels(v)
+		for i := range ga {
+			if ga[i] != ha[i] || gl[i] != hl[i] {
 				return false
 			}
 		}

@@ -18,7 +18,7 @@ func (g *Graph) BFSDistances(src, maxDepth int) []int {
 		if maxDepth >= 0 && dist[v] >= maxDepth {
 			continue
 		}
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(int(v)) {
 			if dist[w] < 0 {
 				dist[w] = dist[v] + 1
 				queue = append(queue, w)
@@ -44,7 +44,7 @@ func (g *Graph) ConnectedComponents() [][]int32 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, v)
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(int(v)) {
 				if !seen[w] {
 					seen[w] = true
 					stack = append(stack, w)
@@ -81,10 +81,11 @@ func (g *Graph) InducedSubgraph(name string, vertices []int32) (*Graph, []int32)
 		b.AddVertex(g.labels[v])
 	}
 	for _, v := range vertices {
-		for i, w := range g.adj[v] {
+		els := g.EdgeLabels(int(v))
+		for i, w := range g.Neighbors(int(v)) {
 			if nw, ok := old2new[w]; ok && w > v {
 				// Safe: endpoints exist and are distinct by construction.
-				_ = b.AddLabeledEdge(int(old2new[v]), int(nw), g.elab[v][i])
+				_ = b.AddLabeledEdge(int(old2new[v]), int(nw), els[i])
 			}
 		}
 	}
@@ -108,7 +109,7 @@ func (g *Graph) EnumeratePaths(maxEdges int, visit func(path []int32)) {
 			visit(path)
 		}
 		if len(path) <= maxEdges {
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(int(v)) {
 				if !onPath[w] {
 					dfs(w)
 				}
@@ -137,7 +138,7 @@ func (g *Graph) MaximalPaths(maxEdges int) [][]int32 {
 		path = append(path, v)
 		extended := false
 		if len(path) <= maxEdges {
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(int(v)) {
 				if !onPath[w] {
 					extended = true
 					dfs(w)

@@ -12,13 +12,12 @@ import (
 // injectivity checks. It has no pruning beyond correctness, so it is slow
 // but obviously right.
 type Reference struct {
-	g       *graph.Graph
-	byLabel map[graph.Label][]int32
+	g *graph.Graph
 }
 
 // NewReference builds a reference matcher over stored graph g.
 func NewReference(g *graph.Graph) *Reference {
-	return &Reference{g: g, byLabel: g.VerticesByLabel()}
+	return &Reference{g: g}
 }
 
 // Name implements Matcher.
@@ -47,7 +46,7 @@ func (r *Reference) Match(ctx context.Context, q *graph.Graph, limit int) ([]Emb
 		if u == q.N() {
 			return col.Found(emb)
 		}
-		for _, v := range r.byLabel[q.Label(u)] {
+		for _, v := range r.g.VerticesWithLabel(q.Label(u)) {
 			if err := budget.Step(); err != nil {
 				return err
 			}

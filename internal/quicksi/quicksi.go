@@ -21,7 +21,6 @@ import (
 // Matcher is a QuickSI instance bound to a stored graph.
 type Matcher struct {
 	g        *graph.Graph
-	byLabel  map[graph.Label][]int32
 	lblFreq  map[graph.Label]int
 	edgeFreq map[[3]graph.Label]int
 }
@@ -32,7 +31,6 @@ type Matcher struct {
 func New(g *graph.Graph) *Matcher {
 	m := &Matcher{
 		g:        g,
-		byLabel:  g.VerticesByLabel(),
 		lblFreq:  g.LabelFrequencies(),
 		edgeFreq: make(map[[3]graph.Label]int),
 	}
@@ -178,7 +176,7 @@ func (s *searcher) step(i int) error {
 	if e.parent >= 0 {
 		candidates = s.m.g.Neighbors(int(s.emb[e.parent]))
 	} else {
-		candidates = s.m.byLabel[lbl]
+		candidates = s.m.g.VerticesWithLabel(lbl)
 	}
 	for _, v := range candidates {
 		if err := s.budget.Step(); err != nil {

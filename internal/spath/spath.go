@@ -25,9 +25,8 @@ const DefaultMaxPathLen = 4
 
 // Matcher is an sPath instance bound to a stored graph.
 type Matcher struct {
-	g       *graph.Graph
-	byLabel map[graph.Label][]int32
-	radius  int
+	g      *graph.Graph
+	radius int
 	// sig[v][d-1] maps label -> number of vertices with that label at
 	// distance exactly d from v. Containment tests use cumulative sums.
 	sig [][]map[graph.Label]int32
@@ -41,7 +40,7 @@ func NewWithRadius(g *graph.Graph, radius int) *Matcher {
 	if radius < 1 {
 		radius = 1
 	}
-	m := &Matcher{g: g, byLabel: g.VerticesByLabel(), radius: radius}
+	m := &Matcher{g: g, radius: radius}
 	m.sig = make([][]map[graph.Label]int32, g.N())
 	for v := 0; v < g.N(); v++ {
 		m.sig[v] = distanceSignature(g, v, radius)
@@ -140,7 +139,7 @@ func (m *Matcher) candidates(q *graph.Graph, budget *match.Budget) ([]map[int32]
 	for u := 0; u < q.N(); u++ {
 		qSig := distanceSignature(q, u, m.radius)
 		set := make(map[int32]bool)
-		for _, v := range m.byLabel[q.Label(u)] {
+		for _, v := range m.g.VerticesWithLabel(q.Label(u)) {
 			if err := budget.Step(); err != nil {
 				return nil, err
 			}

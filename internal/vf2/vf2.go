@@ -17,16 +17,16 @@ import (
 	"github.com/psi-graph/psi/internal/match"
 )
 
-// Matcher is a VF2 instance bound to a stored graph. It precomputes the
-// label→vertices index once so repeated queries avoid O(n) scans.
+// Matcher is a VF2 instance bound to a stored graph. Candidate generation
+// uses the graph's precomputed label→vertex-range index, so construction is
+// free and repeated queries avoid O(n) scans.
 type Matcher struct {
-	g       *graph.Graph
-	byLabel map[graph.Label][]int32
+	g *graph.Graph
 }
 
 // New builds a VF2 matcher over stored graph g.
 func New(g *graph.Graph) *Matcher {
-	return &Matcher{g: g, byLabel: g.VerticesByLabel()}
+	return &Matcher{g: g}
 }
 
 // Name implements match.Matcher.
@@ -47,10 +47,12 @@ func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match
 	if q.N() > m.g.N() || q.M() > m.g.M() {
 		return nil, nil
 	}
+	order, anchor := visitPlan(q)
 	s := &state{
 		q:      q,
 		g:      m.g,
-		byLbl:  m.byLabel,
+		order:  order,
+		anchor: anchor,
 		coreQ:  make([]int32, q.N()),
 		coreG:  make([]int32, m.g.N()),
 		inG:    make([]bool, m.g.N()),
@@ -84,7 +86,8 @@ func Match(ctx context.Context, q, g *graph.Graph, limit int) ([]match.Embedding
 
 type state struct {
 	q, g   *graph.Graph
-	byLbl  map[graph.Label][]int32
+	order  []int32 // static visit order: order[depth] is the query vertex matched at depth
+	anchor []int32 // anchor[depth]: earlier-placed query neighbor of order[depth], or -1
 	coreQ  []int32 // query vertex -> matched graph vertex or -1
 	coreG  []int32 // graph vertex -> matched query vertex or -1
 	inG    []bool  // graph vertex matched
@@ -92,48 +95,68 @@ type state struct {
 	budget *match.Budget
 }
 
-// nextQueryVertex returns the lowest-ID unmatched query vertex adjacent to
-// the matched set, or the lowest-ID unmatched vertex if the matched set has
-// no unmatched neighbors (empty match or disconnected query).
-func (s *state) nextQueryVertex() int {
-	best := -1
-	for u := 0; u < s.q.N(); u++ {
-		if s.coreQ[u] >= 0 {
-			continue
-		}
-		if best < 0 {
-			best = u
-		}
-		for _, w := range s.q.Neighbors(u) {
-			if s.coreQ[w] >= 0 {
-				return u
+// visitPlan precomputes the order in which query vertices are matched,
+// together with each step's anchor. Because the matched query set at depth d
+// is always exactly the first d vertices of the order, the original VF2 rule
+// — "lowest-ID unmatched query vertex adjacent to the matched set, else
+// lowest-ID unmatched vertex" — depends only on the depth, not on which
+// graph vertices were chosen, so it can be computed once per Match instead
+// of rescanning all query vertices at every search node. The anchor is the
+// first already-placed neighbor in adjacency order, matching the original
+// runtime selection exactly (tie-breaking is load-bearing: it is what the
+// paper's rewritings steer).
+func visitPlan(q *graph.Graph) (order, anchor []int32) {
+	n := q.N()
+	order = make([]int32, 0, n)
+	anchor = make([]int32, 0, n)
+	placed := make([]bool, n)
+	for len(order) < n {
+		next, lowest := -1, -1
+		for u := 0; u < n && next < 0; u++ {
+			if placed[u] {
+				continue
+			}
+			if lowest < 0 {
+				lowest = u
+			}
+			for _, w := range q.Neighbors(u) {
+				if placed[w] {
+					next = u
+					break
+				}
 			}
 		}
+		if next < 0 {
+			next = lowest
+		}
+		a := int32(-1)
+		for _, w := range q.Neighbors(next) {
+			if placed[w] {
+				a = w
+				break
+			}
+		}
+		order = append(order, int32(next))
+		anchor = append(anchor, a)
+		placed[next] = true
 	}
-	return best
+	return order, anchor
 }
 
 func (s *state) search(depth int) error {
 	if depth == s.q.N() {
 		return s.col.Found(match.Embedding(s.coreQ))
 	}
-	u := s.nextQueryVertex()
+	u := int(s.order[depth])
 	// Candidate generation: if u has matched neighbors, only neighbors of
 	// their images qualify (pruning rule 1: candidates must be directly
 	// connected to already-matched vertices of g). Otherwise all
 	// label-compatible vertices are candidates.
 	var candidates []int32
-	anchor := int32(-1)
-	for _, w := range s.q.Neighbors(u) {
-		if s.coreQ[w] >= 0 {
-			anchor = s.coreQ[w]
-			break
-		}
-	}
-	if anchor >= 0 {
-		candidates = s.g.Neighbors(int(anchor))
+	if a := s.anchor[depth]; a >= 0 {
+		candidates = s.g.Neighbors(int(s.coreQ[a]))
 	} else {
-		candidates = s.byLbl[s.q.Label(u)]
+		candidates = s.g.VerticesWithLabel(s.q.Label(u))
 	}
 	for _, v := range candidates {
 		if err := s.budget.Step(); err != nil {

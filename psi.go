@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/psi-graph/psi/internal/core"
+	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/ftv"
 	"github.com/psi-graph/psi/internal/gen"
 	"github.com/psi-graph/psi/internal/ggsx"
@@ -217,10 +219,77 @@ func NewCachedFTV(x FTVIndex, maxEntries int) *CachedFTV {
 	return ftv.NewCached(x, maxEntries)
 }
 
-// FTVAnswer runs the plain filter-then-verify pipeline and returns the IDs
-// of dataset graphs containing q.
+// NewCachedFTVParallel is NewCachedFTV with the residual verifications (the
+// candidates the cache could not resolve) fanned out across the shared
+// worker pool. Answers and cache statistics are identical to NewCachedFTV.
+func NewCachedFTVParallel(x FTVIndex, maxEntries int) *CachedFTV {
+	return ftv.NewCachedParallel(x, maxEntries, nil)
+}
+
+// FTVAnswer runs the plain filter-then-verify pipeline sequentially and
+// returns the IDs of dataset graphs containing q.
 func FTVAnswer(ctx context.Context, x FTVIndex, q *Graph) ([]int, error) {
 	return ftv.Answer(ctx, x, q)
+}
+
+// FTVAnswerParallel is FTVAnswer with the verification stage fanned out
+// across the shared worker pool (sized by the machine's CPU count). The
+// returned IDs are identical to FTVAnswer's — ascending graph IDs — only
+// the wall-clock time changes.
+func FTVAnswerParallel(ctx context.Context, x FTVIndex, q *Graph) ([]int, error) {
+	return ftv.ParallelAnswer(ctx, x, q, nil)
+}
+
+// FTVAnswerOptions tunes FTVAnswerWithOptions.
+type FTVAnswerOptions struct {
+	// MaxWorkers caps the number of concurrent candidate verifications.
+	// 0 uses the shared default pool (one worker per CPU); 1 degenerates
+	// to the sequential pipeline.
+	MaxWorkers int
+}
+
+// sizedPools caches process-wide pools for explicit MaxWorkers values, so
+// per-query calls do not pay pool construction and teardown. The cache is
+// bounded: a server deriving MaxWorkers from load cannot accrete unbounded
+// idle workers — sizes beyond the bound fall back to a per-call pool.
+var (
+	sizedPoolsMu sync.Mutex
+	sizedPools   = map[int]*exec.Pool{}
+)
+
+const maxCachedPoolSizes = 16
+
+// sizedPool returns a cached pool for the given worker count, or nil when
+// the cache is full and the size unseen (caller then uses a throwaway pool).
+func sizedPool(workers int) *exec.Pool {
+	sizedPoolsMu.Lock()
+	defer sizedPoolsMu.Unlock()
+	if p, ok := sizedPools[workers]; ok {
+		return p
+	}
+	if len(sizedPools) >= maxCachedPoolSizes {
+		return nil
+	}
+	p := exec.New(workers)
+	sizedPools[workers] = p
+	return p
+}
+
+// FTVAnswerWithOptions runs the filter-then-verify pipeline with explicit
+// parallelism options.
+func FTVAnswerWithOptions(ctx context.Context, x FTVIndex, q *Graph, opts FTVAnswerOptions) ([]int, error) {
+	if opts.MaxWorkers == 1 {
+		return ftv.Answer(ctx, x, q)
+	}
+	if opts.MaxWorkers <= 0 {
+		return ftv.ParallelAnswer(ctx, x, q, nil)
+	}
+	p := sizedPool(opts.MaxWorkers)
+	if p == nil {
+		p = exec.New(opts.MaxWorkers)
+		defer p.Close()
+	}
+	return ftv.ParallelAnswer(ctx, x, q, p)
 }
 
 // ComputeStats summarizes one graph.

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# check.sh — the repo's CI gate: formatting, vet, and the full test suite
+# under the race detector. Run from the repository root (or anywhere; the
+# script cds to its own repo). Fails fast with a non-zero exit on the first
+# broken stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "All checks passed."
