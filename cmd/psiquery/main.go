@@ -1,36 +1,32 @@
-// Command psiquery runs subgraph queries from files, with a single
-// algorithm or a Ψ-framework race.
+// Command psiquery runs subgraph queries from files through a psi.Engine,
+// with a single algorithm, a Ψ-framework race, or the learned per-query
+// prediction policy.
 //
 // NFV (single stored graph): match every query, report embeddings found,
 // winner and time per query.
 //
 //	psiquery -data yeast.txt -queries q.txt -algos GQL,SPA -rewritings Or,DND
+//	psiquery -data yeast.txt -queries q.txt -mode predict -json
 //
 // FTV (multi-graph dataset): filter-then-verify decision with Grapes or
-// GGSX, optionally racing rewritings in the verification stage.
+// GGSX, racing rewritings in the verification stage behind the result
+// cache.
 //
 //	psiquery -data ppi.txt -queries q.txt -index grapes -workers 4 -rewritings ILF,IND,DND
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
-	"github.com/psi-graph/psi/internal/core"
-	"github.com/psi-graph/psi/internal/ftv"
-	"github.com/psi-graph/psi/internal/ggsx"
-	"github.com/psi-graph/psi/internal/gql"
-	"github.com/psi-graph/psi/internal/grapes"
+	psi "github.com/psi-graph/psi"
 	"github.com/psi-graph/psi/internal/graph"
-	"github.com/psi-graph/psi/internal/match"
-	"github.com/psi-graph/psi/internal/quicksi"
 	"github.com/psi-graph/psi/internal/rewrite"
-	"github.com/psi-graph/psi/internal/spath"
-	"github.com/psi-graph/psi/internal/vf2"
 )
 
 func main() {
@@ -39,6 +35,8 @@ func main() {
 		queriesFlag = flag.String("queries", "", "query file (required)")
 		algosFlag   = flag.String("algos", "GQL", "comma-separated NFV algorithms: GQL,SPA,QSI,VF2")
 		rewrFlag    = flag.String("rewritings", "Orig", "comma-separated rewritings: Orig,ILF,IND,DND,ILF+IND,ILF+DND")
+		modeFlag    = flag.String("mode", "race", "planning policy: race|predict|single")
+		jsonFlag    = flag.Bool("json", false, "emit one JSON object per query instead of text")
 		indexFlag   = flag.String("index", "", "FTV index for multi-graph datasets: grapes|ggsx")
 		workersFlag = flag.Int("workers", 1, "Grapes worker count")
 		limitFlag   = flag.Int("limit", 1000, "max embeddings per query (NFV)")
@@ -61,73 +59,116 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mode, err := psi.ParseMode(*modeFlag)
+	if err != nil {
+		fatal(err)
+	}
 	if len(ds) == 0 {
 		fatal(fmt.Errorf("dataset %s is empty", *dataFlag))
 	}
+	opts := psi.EngineOptions{
+		Rewritings:   kinds,
+		Mode:         mode,
+		Timeout:      *capFlag,
+		Index:        *indexFlag,
+		IndexWorkers: *workersFlag,
+	}
 	if len(ds) > 1 || *indexFlag != "" {
-		runFTV(ds, queries, *indexFlag, *workersFlag, kinds, *capFlag)
+		eng, err := psi.NewDatasetEngine(ds, opts)
+		if err != nil {
+			fatal(err)
+		}
+		defer eng.Close()
+		runQueries(eng, queries, len(ds), 0, *jsonFlag)
 		return
 	}
-	runNFV(ds[0], queries, strings.Split(*algosFlag, ","), kinds, *limitFlag, *capFlag)
+	opts.Algorithms, err = parseAlgorithms(*algosFlag)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := psi.NewEngine(ds[0], opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+	runQueries(eng, queries, 0, *limitFlag, *jsonFlag)
 }
 
-func runNFV(g *graph.Graph, queries []*graph.Graph, algoNames []string, kinds []rewrite.Kind, limit int, cap time.Duration) {
-	var matchers []match.Matcher
-	for _, name := range algoNames {
+// queryReport is the -json output schema, one object per line per query.
+type queryReport struct {
+	Query      string          `json:"query"`
+	Kind       string          `json:"kind"`
+	Winner     string          `json:"winner,omitempty"`
+	Found      int             `json:"found"`
+	Embeddings []psi.Embedding `json:"embeddings,omitempty"`
+	GraphIDs   []int           `json:"graph_ids,omitempty"`
+	ElapsedUS  int64           `json:"elapsed_us"`
+	Killed     bool            `json:"killed,omitempty"`
+	FellBack   bool            `json:"fell_back,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// runQueries plans and executes every query on the engine; datasetSize > 0
+// marks the FTV formatting path.
+func runQueries(eng *psi.Engine, queries []*graph.Graph, datasetSize, limit int, asJSON bool) {
+	out := json.NewEncoder(os.Stdout)
+	for _, q := range queries {
+		res, err := eng.Query(context.Background(), q, limit)
+		if asJSON {
+			rep := queryReport{Query: q.Name()}
+			if err != nil {
+				rep.Error = err.Error()
+			} else {
+				rep.Kind = string(res.Kind)
+				rep.Winner = res.Winner
+				rep.Found = res.Found
+				rep.Embeddings = res.Embeddings
+				rep.GraphIDs = res.GraphIDs
+				rep.ElapsedUS = res.Elapsed.Microseconds()
+				rep.Killed = res.Killed
+				rep.FellBack = res.FellBack
+			}
+			if eerr := out.Encode(rep); eerr != nil {
+				fatal(eerr)
+			}
+			continue
+		}
+		switch {
+		case err != nil:
+			fmt.Printf("%-12s FAILED (%v)\n", q.Name(), err)
+		case res.Killed:
+			fmt.Printf("%-12s KILLED after %v\n", q.Name(), res.Elapsed.Round(time.Microsecond))
+		case datasetSize > 0:
+			fmt.Printf("%-12s contained in %d/%d graph(s) %v  %v\n",
+				q.Name(), len(res.GraphIDs), datasetSize, res.GraphIDs, res.Elapsed.Round(time.Microsecond))
+		default:
+			note := ""
+			if res.FellBack {
+				note = "  (prediction fell back to race)"
+			}
+			fmt.Printf("%-12s %4d embedding(s)  winner=%-12s  plan=%-9s %v%s\n",
+				q.Name(), res.Found, res.Winner, res.Kind, res.Elapsed.Round(time.Microsecond), note)
+		}
+	}
+}
+
+func parseAlgorithms(s string) ([]psi.Algorithm, error) {
+	var algos []psi.Algorithm
+	for _, name := range strings.Split(s, ",") {
 		switch strings.TrimSpace(name) {
 		case "GQL":
-			matchers = append(matchers, gql.New(g))
+			algos = append(algos, psi.GraphQL)
 		case "SPA":
-			matchers = append(matchers, spath.New(g))
+			algos = append(algos, psi.SPath)
 		case "QSI":
-			matchers = append(matchers, quicksi.New(g))
+			algos = append(algos, psi.QuickSI)
 		case "VF2":
-			matchers = append(matchers, vf2.New(g))
+			algos = append(algos, psi.VF2)
 		default:
-			fatal(fmt.Errorf("unknown algorithm %q", name))
+			return nil, fmt.Errorf("unknown algorithm %q", name)
 		}
 	}
-	racer := core.NewRacer(g)
-	attempts := core.Portfolio(matchers, kinds)
-	for _, q := range queries {
-		ctx, cancel := context.WithTimeout(context.Background(), cap)
-		start := time.Now()
-		res, err := racer.Race(ctx, q, limit, attempts)
-		elapsed := time.Since(start)
-		cancel()
-		if err != nil {
-			fmt.Printf("%-12s KILLED after %v (%v)\n", q.Name(), elapsed.Round(time.Microsecond), err)
-			continue
-		}
-		fmt.Printf("%-12s %4d embedding(s)  winner=%-12s  %v\n",
-			q.Name(), len(res.Embeddings), res.Winner.Label(), elapsed.Round(time.Microsecond))
-	}
-}
-
-func runFTV(ds []*graph.Graph, queries []*graph.Graph, index string, workers int, kinds []rewrite.Kind, cap time.Duration) {
-	var x ftv.Index
-	switch index {
-	case "", "grapes":
-		x = grapes.Build(ds, grapes.Options{Workers: workers})
-	case "ggsx":
-		x = ggsx.Build(ds, ggsx.Options{})
-	default:
-		fatal(fmt.Errorf("unknown index %q", index))
-	}
-	racer := core.NewFTVRacer(x, kinds)
-	for _, q := range queries {
-		ctx, cancel := context.WithTimeout(context.Background(), cap)
-		start := time.Now()
-		answer, err := racer.Answer(ctx, q)
-		elapsed := time.Since(start)
-		cancel()
-		if err != nil {
-			fmt.Printf("%-12s KILLED after %v (%v)\n", q.Name(), elapsed.Round(time.Microsecond), err)
-			continue
-		}
-		fmt.Printf("%-12s contained in %d/%d graph(s) %v  %v\n",
-			q.Name(), len(answer), len(ds), answer, elapsed.Round(time.Microsecond))
-	}
+	return algos, nil
 }
 
 func parseRewritings(s string) ([]rewrite.Kind, error) {

@@ -60,6 +60,40 @@
 // the answer. Panics inside attempts or verifications are recovered and
 // surfaced as errors rather than crashing the process.
 //
+// # Engine and streaming architecture
+//
+// The result path is streaming end to end. Every matcher implements
+// StreamMatcher: MatchStream emits each embedding into a Sink the moment
+// the backtracking search finds it, and the sink returning false stops the
+// search; Match is merely the collecting wrapper. On top of that contract,
+// Racer.RaceStream changes the race's adoption rule from first-to-finish
+// to first-to-emit — the first embedding anyone finds claims the output
+// stream for its attempt and cancels every other contender — so
+// first-result latency is the fastest attempt's time-to-first-embedding,
+// not its time-to-full-enumeration (on the recorded baseline, a four-order-
+// of-magnitude difference for enumeration-heavy queries; BENCH_engine.json).
+// The FTV side streams too: FTVRacer.AnswerStream surfaces each containing
+// graph ID as soon as its raced verification and all earlier candidates
+// settle, preserving the ascending answer order incrementally.
+//
+// Engine is the serving facade over all of it: a long-lived object owning
+// the stored graph or dataset, the prebuilt matcher portfolio, label
+// frequencies, the FTV index with its iGQ-style result cache, the shared
+// execution pool and the prediction policy. Query processing splits into
+// Plan — attempt-portfolio selection per the engine's Mode: a full race
+// (ModeRace), the model's predicted single attempt with race fallback
+// (ModePredict), or a fixed single attempt (ModeSingle) — and Execute,
+// which runs the plan under the engine's per-query deadline (the paper's
+// kill cap, enforced through metrics.Budget; killed queries come back
+// classified Hard with their time clamped to the cap, exactly as the
+// paper's methodology records them):
+//
+//	eng, _ := psi.NewEngine(g, psi.EngineOptions{Timeout: 10 * time.Minute})
+//	defer eng.Close()
+//	res, _ := eng.Query(ctx, q, 1000)                  // plan + execute
+//	eng.QueryStream(ctx, q, 1000,                      // streaming form
+//		psi.SinkFunc(func(e psi.Embedding) bool { return consume(e) }))
+//
 // See examples/ for runnable programs and cmd/psibench for the experiment
 // harness that regenerates every table and figure of the paper.
 package psi

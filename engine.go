@@ -1,0 +1,588 @@
+package psi
+
+// Engine is the serving-shaped facade over the Ψ-framework: a long-lived
+// object that owns everything a query needs — the stored graph or dataset,
+// prebuilt matchers, label frequencies, the FTV index and its iGQ-style
+// result cache, the execution pool, and the prediction policy — and splits
+// query processing into an explicit Plan step (attempt-portfolio selection)
+// and an Execute step (running the plan under a per-query deadline).
+// Free-function callers keep working; the Engine is where a server lives.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/psi-graph/psi/internal/core"
+	"github.com/psi-graph/psi/internal/exec"
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/ggsx"
+	"github.com/psi-graph/psi/internal/grapes"
+	"github.com/psi-graph/psi/internal/match"
+	"github.com/psi-graph/psi/internal/metrics"
+	"github.com/psi-graph/psi/internal/predict"
+)
+
+// Streaming types, re-exported from the internal substrate.
+type (
+	// Sink receives embeddings as a streaming search finds them; Emit
+	// returning false stops the search.
+	Sink = match.Sink
+	// SinkFunc adapts a function to the Sink interface.
+	SinkFunc = match.SinkFunc
+	// StreamMatcher is the streaming face of a Matcher. All matchers
+	// built by this module implement it.
+	StreamMatcher = match.StreamMatcher
+)
+
+// MatchStream streams m's embeddings for q into sink: natively when m
+// implements StreamMatcher (every matcher built by this module does),
+// otherwise by materializing Match's slice and replaying it.
+func MatchStream(ctx context.Context, m Matcher, q *Graph, limit int, sink Sink) error {
+	return match.Stream(ctx, m, q, limit, sink)
+}
+
+// Mode selects the Engine's planning policy.
+type Mode string
+
+const (
+	// ModeRace races the full attempt portfolio for every query — the
+	// paper's Ψ-framework proper.
+	ModeRace Mode = "race"
+	// ModePredict races during a warmup phase, then plans only the
+	// predicted-best attempt per query (§9 future work), falling back to a
+	// full race when the prediction overruns its solo budget.
+	ModePredict Mode = "predict"
+	// ModeSingle always plans the portfolio's first attempt alone — the
+	// fixed single-algorithm baseline the paper races against.
+	ModeSingle Mode = "single"
+)
+
+// ParseMode converts a -mode flag value into a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeRace, ModePredict, ModeSingle:
+		return Mode(s), nil
+	case "":
+		return ModeRace, nil
+	}
+	return "", fmt.Errorf("psi: unknown mode %q (want race, predict or single)", s)
+}
+
+// EngineOptions configures NewEngine and NewDatasetEngine. The zero value
+// is a sensible default: a race of GraphQL and sPath over Orig and DND,
+// no deadline, the shared CPU-sized pool.
+type EngineOptions struct {
+	// Algorithms are the portfolio's matching algorithms (NFV engines);
+	// empty means {GraphQL, SPath}.
+	Algorithms []Algorithm
+	// Rewritings are the raced query rewritings; empty means {Orig, DND}.
+	Rewritings []Rewriting
+	// Mode is the planning policy; empty means ModeRace.
+	Mode Mode
+	// Timeout is the per-query deadline enforced by Execute through
+	// metrics.Budget — the paper's kill cap. 0 disables the deadline.
+	Timeout time.Duration
+	// Workers sizes a dedicated execution pool owned (and closed) by the
+	// Engine; 0 shares the process-wide CPU-sized pool.
+	Workers int
+	// Validate re-checks every winner embedding before surfacing it; for
+	// tests and debugging.
+	Validate bool
+
+	// WarmupRaces is how many initial queries ModePredict races in full to
+	// gather training signal; 0 means 8.
+	WarmupRaces int
+	// SoloBudget caps a predicted attempt's solo run before ModePredict
+	// falls back to a full race; 0 means 50ms.
+	SoloBudget time.Duration
+
+	// Index selects the FTV index for dataset engines: "grapes" (default)
+	// or "ggsx".
+	Index string
+	// IndexWorkers is the Grapes index-construction worker count
+	// (the paper's Grapes/1 vs Grapes/4); 0 means 1.
+	IndexWorkers int
+	// CacheSize bounds the iGQ-style result cache of dataset engines:
+	// 0 means 128 entries, negative disables the cache.
+	CacheSize int
+}
+
+// Engine is a long-lived query-serving object. Construct with NewEngine
+// (single stored graph, NFV) or NewDatasetEngine (multi-graph dataset,
+// FTV); both are safe for concurrent queries. Close releases the dedicated
+// pool when one was requested.
+type Engine struct {
+	mode   Mode
+	budget metrics.Budget
+	pool   *exec.Pool
+	owned  bool
+
+	// NFV state.
+	g        *Graph
+	matchers []Matcher
+	attempts []Attempt
+	racer    *core.Racer
+	model    *predict.Predictor
+	warmup   int64
+	solo     time.Duration
+	seen     atomic.Int64
+
+	// FTV state.
+	ds       []*Graph
+	index    FTVIndex
+	ftvRacer *FTVRacer
+	cache    *CachedFTV
+}
+
+// NewEngine builds an NFV engine serving subgraph-matching queries against
+// one stored graph.
+func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
+	if g == nil {
+		return nil, errors.New("psi: NewEngine requires a stored graph")
+	}
+	e, err := newEngineCommon(opts)
+	if err != nil {
+		return nil, err
+	}
+	e.g = g
+	algos := opts.Algorithms
+	if len(algos) == 0 {
+		algos = []Algorithm{GraphQL, SPath}
+	}
+	for _, a := range algos {
+		m, err := NewMatcher(a, g)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.matchers = append(e.matchers, m)
+	}
+	e.racer = core.NewRacer(g)
+	e.racer.Pool = e.pool
+	e.racer.Validate = opts.Validate
+	e.attempts = core.Portfolio(e.matchers, engineRewritings(opts))
+	e.model = &predict.Predictor{}
+	return e, nil
+}
+
+// NewDatasetEngine builds an FTV engine serving containment queries against
+// a multi-graph dataset: filter through the configured index, verify
+// candidates across the pool with raced rewritings, all behind the
+// iGQ-style result cache.
+func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
+	if len(ds) == 0 {
+		return nil, errors.New("psi: NewDatasetEngine requires a non-empty dataset")
+	}
+	e, err := newEngineCommon(opts)
+	if err != nil {
+		return nil, err
+	}
+	e.ds = ds
+	switch opts.Index {
+	case "", "grapes":
+		w := opts.IndexWorkers
+		if w <= 0 {
+			w = 1
+		}
+		e.index = grapes.Build(ds, grapes.Options{Workers: w})
+	case "ggsx":
+		e.index = ggsx.Build(ds, ggsx.Options{})
+	default:
+		e.Close()
+		return nil, fmt.Errorf("psi: unknown FTV index %q (want grapes or ggsx)", opts.Index)
+	}
+	e.ftvRacer = core.NewFTVRacer(e.index, engineRewritings(opts))
+	e.ftvRacer.Pool = e.pool
+	if opts.CacheSize >= 0 {
+		// The cache layers on the *raced* verifier, so the residual
+		// verifications it cannot resolve are themselves raced across the
+		// configured rewritings and fanned out over the pool.
+		e.cache = ftv.NewCachedParallel(racedIndex{e.ftvRacer}, opts.CacheSize, poolOrDefault(e.pool))
+	}
+	return e, nil
+}
+
+func newEngineCommon(opts EngineOptions) (*Engine, error) {
+	mode, err := ParseMode(string(opts.Mode))
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		mode:   mode,
+		budget: metrics.Budget{Cap: opts.Timeout},
+		warmup: int64(opts.WarmupRaces),
+		solo:   opts.SoloBudget,
+	}
+	if e.warmup <= 0 {
+		e.warmup = 8
+	}
+	if e.solo <= 0 {
+		e.solo = 50 * time.Millisecond
+	}
+	if opts.Workers > 0 {
+		e.pool = exec.New(opts.Workers)
+		e.owned = true
+	}
+	return e, nil
+}
+
+func engineRewritings(opts EngineOptions) []Rewriting {
+	if len(opts.Rewritings) == 0 {
+		return []Rewriting{Orig, DND}
+	}
+	return append([]Rewriting(nil), opts.Rewritings...)
+}
+
+func poolOrDefault(p *exec.Pool) *exec.Pool {
+	if p != nil {
+		return p
+	}
+	return exec.Default()
+}
+
+// racedIndex adapts FTVRacer's per-candidate rewriting race to the
+// ftv.Index contract so the result cache can layer on top of it.
+type racedIndex struct{ f *FTVRacer }
+
+func (r racedIndex) Name() string      { return r.f.Name() }
+func (r racedIndex) Dataset() []*Graph { return r.f.Index.Dataset() }
+func (r racedIndex) Filter(q *Graph) []int {
+	return r.f.Index.Filter(q)
+}
+func (r racedIndex) Verify(ctx context.Context, q *Graph, graphID int) (bool, error) {
+	res, err := r.f.Verify(ctx, q, graphID)
+	return res.Contained, err
+}
+
+// Close releases the Engine's dedicated pool, if it owns one. Queries in
+// flight degrade gracefully (the pool falls back to transient goroutines).
+func (e *Engine) Close() {
+	if e.owned && e.pool != nil {
+		e.pool.Close()
+	}
+}
+
+// Mode reports the engine's planning policy.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Graph returns the stored graph of an NFV engine (nil for dataset engines).
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Dataset returns the dataset of an FTV engine (nil for NFV engines).
+func (e *Engine) Dataset() []*Graph { return e.ds }
+
+// Attempts returns a copy of the engine's attempt portfolio (NFV engines).
+func (e *Engine) Attempts() []Attempt {
+	return append([]Attempt(nil), e.attempts...)
+}
+
+// CacheStats reports the FTV result-cache counters; ok is false for NFV
+// engines and dataset engines built with a negative CacheSize.
+func (e *Engine) CacheStats() (stats ftv.CacheStats, ok bool) {
+	if e.cache == nil {
+		return ftv.CacheStats{}, false
+	}
+	return e.cache.Stats(), true
+}
+
+// PlanKind says how Execute will run a planned query.
+type PlanKind string
+
+const (
+	// PlanRace races the full attempt portfolio.
+	PlanRace PlanKind = "race"
+	// PlanPredicted runs only the model's predicted attempt, with a full
+	// race as fallback if it overruns the solo budget.
+	PlanPredicted PlanKind = "predicted"
+	// PlanFixed runs a fixed single attempt with no fallback.
+	PlanFixed PlanKind = "fixed"
+	// PlanFTV answers a containment query through the engine's
+	// filter-then-verify pipeline.
+	PlanFTV PlanKind = "ftv"
+)
+
+// Plan is an executable query plan produced by Engine.Plan. Plans are
+// cheap, single-use value carriers: planning touches no stored-graph data
+// beyond the O(|q|) feature vector.
+type Plan struct {
+	// Query is the planned query graph.
+	Query *Graph
+	// Kind is the selected execution strategy.
+	Kind PlanKind
+	// Attempts are the contenders Execute will run (NFV plans).
+	Attempts []Attempt
+	// Predicted is the portfolio index of the model's pick for
+	// PlanPredicted plans, -1 otherwise.
+	Predicted int
+	// Deadline is the per-query cap Execute will enforce (0: none).
+	Deadline time.Duration
+
+	features predict.Features
+	engine   *Engine
+}
+
+// Plan selects the attempt portfolio for q under the engine's mode:
+// a full race, the predicted single attempt (once the model has warmed
+// up), a fixed single attempt, or the FTV pipeline for dataset engines.
+func (e *Engine) Plan(q *Graph) (*Plan, error) {
+	if q == nil {
+		return nil, errors.New("psi: Plan requires a query graph")
+	}
+	p := &Plan{Query: q, Predicted: -1, Deadline: e.budget.Cap, engine: e}
+	if e.g == nil {
+		p.Kind = PlanFTV
+		return p, nil
+	}
+	switch e.mode {
+	case ModeSingle:
+		p.Kind = PlanFixed
+		p.Attempts = e.attempts[:1]
+	case ModePredict:
+		p.features = predict.Featurize(q, e.racer.Frequencies)
+		p.Kind = PlanRace
+		p.Attempts = e.attempts
+		if e.seen.Load() >= e.warmup {
+			if idx := e.model.Predict(p.features); idx >= 0 {
+				p.Kind = PlanPredicted
+				p.Predicted = idx
+				p.Attempts = e.attempts[idx : idx+1]
+			}
+		}
+	default:
+		p.Kind = PlanRace
+		p.Attempts = e.attempts
+	}
+	// The plan is a public value: never alias the engine's portfolio,
+	// which a caller could then mutate under every future query.
+	p.Attempts = append([]Attempt(nil), p.Attempts...)
+	return p, nil
+}
+
+// QueryResult is the outcome of one executed plan.
+type QueryResult struct {
+	// Embeddings holds the matched embeddings (NFV, non-streaming
+	// execution only; streaming sends them to the sink instead).
+	Embeddings []Embedding
+	// Found is the number of embeddings surfaced, whether collected here
+	// or streamed into a sink.
+	Found int
+	// GraphIDs are the containing dataset graphs (FTV plans), ascending.
+	GraphIDs []int
+	// Winner labels the attempt (or index configuration) that produced
+	// the answer, e.g. "GQL-DND".
+	Winner string
+	// Kind echoes the executed plan's strategy; FellBack marks a
+	// predicted plan that overran its solo budget and re-ran as a race.
+	Kind     PlanKind
+	FellBack bool
+	// Elapsed is the measured execution time; when the engine has a
+	// deadline, Killed marks queries that hit it (Elapsed is then clamped
+	// to the cap, the substitution the paper's methodology prescribes)
+	// and Class buckets the timing against the paper's easy/mid/hard
+	// thresholds. A killed collecting run surfaces an empty answer; a
+	// killed streaming run keeps Found at the number of embeddings that
+	// reached the sink before the kill.
+	Elapsed time.Duration
+	Killed  bool
+	Class   metrics.Class
+}
+
+// Contained reports whether the query was found at all.
+func (r *QueryResult) Contained() bool { return r.Found > 0 || len(r.GraphIDs) > 0 }
+
+// Query plans and executes q in one call — the convenience path.
+func (e *Engine) Query(ctx context.Context, q *Graph, limit int) (*QueryResult, error) {
+	p, err := e.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(ctx, p, limit)
+}
+
+// QueryStream plans and executes q, streaming embeddings into sink.
+func (e *Engine) QueryStream(ctx context.Context, q *Graph, limit int, sink Sink) (*QueryResult, error) {
+	p, err := e.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStream(ctx, p, limit, sink)
+}
+
+// Execute runs a plan and collects its answer. Up to limit embeddings are
+// returned for NFV plans (limit <= 0: decision, stop at the first); FTV
+// plans ignore limit and return containing graph IDs. When the engine has
+// a deadline, a query that hits it is not an error: the result comes back
+// with Killed set, Class Hard and an empty answer.
+func (e *Engine) Execute(ctx context.Context, p *Plan, limit int) (*QueryResult, error) {
+	return e.execute(ctx, p, limit, nil)
+}
+
+// ExecuteStream runs a plan, emitting embeddings into sink as they are
+// found; the first attempt to emit is adopted and the rest are cancelled,
+// so first-result latency does not wait for full enumeration. The result's
+// Found counts the embeddings handed to the sink. Dataset (FTV) plans
+// stream graph IDs through Engine.AnswerStream instead.
+func (e *Engine) ExecuteStream(ctx context.Context, p *Plan, limit int, sink Sink) (*QueryResult, error) {
+	if sink == nil {
+		return nil, errors.New("psi: ExecuteStream requires a sink")
+	}
+	return e.execute(ctx, p, limit, sink)
+}
+
+func (e *Engine) execute(ctx context.Context, p *Plan, limit int, sink Sink) (*QueryResult, error) {
+	if p == nil || p.engine != e {
+		return nil, errors.New("psi: Execute requires a plan from this engine's Plan")
+	}
+	if p.Kind == PlanFTV && sink != nil {
+		return nil, errors.New("psi: FTV plans stream graph IDs via AnswerStream, not embeddings")
+	}
+	res := &QueryResult{Kind: p.Kind}
+	streamed := 0
+	if sink != nil {
+		// Count what actually reaches the caller, so a killed streaming
+		// run can still report the embeddings it irrevocably surfaced.
+		inner := sink
+		sink = SinkFunc(func(em Embedding) bool {
+			streamed++
+			return inner.Emit(em)
+		})
+	}
+	run := func(runCtx context.Context) error {
+		switch p.Kind {
+		case PlanFTV:
+			return e.runFTV(runCtx, p, res)
+		case PlanPredicted:
+			return e.runPredicted(runCtx, p, limit, sink, res)
+		default:
+			return e.runRace(runCtx, p.Query, p.Attempts, limit, sink, res, p.features)
+		}
+	}
+	if e.budget.Cap > 0 {
+		t := e.budget.Run(ctx, run)
+		res.Elapsed, res.Killed = t.Elapsed, t.Killed
+		res.Class = e.budget.Classify(t)
+		if t.Err != nil {
+			return nil, t.Err
+		}
+		if t.Killed {
+			// The deadline is engine policy, not a failure: report the
+			// kill the way the paper's methodology records it. Found
+			// keeps the count of embeddings already streamed — those
+			// cannot be retracted from the sink.
+			res.Embeddings, res.GraphIDs = nil, nil
+			res.Found = streamed
+		}
+		return res, nil
+	}
+	start := time.Now()
+	err := run(ctx)
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runRace executes a full (or fixed single-attempt) race, observing the
+// winner into the prediction model when the engine learns.
+func (e *Engine) runRace(ctx context.Context, q *Graph, attempts []Attempt, limit int, sink Sink, res *QueryResult, feats predict.Features) error {
+	var (
+		r   core.Result
+		err error
+	)
+	if sink != nil {
+		r, err = e.racer.RaceStream(ctx, q, limit, attempts, sink)
+	} else {
+		r, err = e.racer.Race(ctx, q, limit, attempts)
+	}
+	if err != nil {
+		return err
+	}
+	res.Embeddings = r.Embeddings
+	res.Found = r.Found
+	res.Winner = r.Winner.Label()
+	if e.mode == ModePredict && len(attempts) == len(e.attempts) {
+		e.model.Observe(feats, r.WinnerIndex)
+		e.seen.Add(1)
+	}
+	return nil
+}
+
+// runPredicted runs the model's pick alone under the solo budget, falling
+// back to a full race when the prediction overruns before emitting. A
+// streamed run that already surfaced embeddings is committed: a mid-stream
+// budget expiry surfaces as the solo context's error rather than silently
+// restarting the query.
+func (e *Engine) runPredicted(ctx context.Context, p *Plan, limit int, sink Sink, res *QueryResult) error {
+	soloCtx, cancel := context.WithTimeout(ctx, e.solo)
+	defer cancel()
+	att := e.attempts[p.Predicted : p.Predicted+1]
+	var (
+		r       core.Result
+		err     error
+		emitted int
+	)
+	if sink != nil {
+		counting := SinkFunc(func(em Embedding) bool {
+			emitted++
+			return sink.Emit(em)
+		})
+		r, err = e.racer.RaceStream(soloCtx, p.Query, limit, att, counting)
+	} else {
+		r, err = e.racer.Race(soloCtx, p.Query, limit, att)
+	}
+	if err == nil {
+		res.Embeddings = r.Embeddings
+		res.Found = r.Found
+		res.Winner = att[0].Label()
+		e.model.Observe(p.features, p.Predicted)
+		return nil
+	}
+	if ctx.Err() != nil {
+		return ctx.Err() // the caller's context died, not the solo budget
+	}
+	if emitted > 0 {
+		return err // committed: partial output already reached the sink
+	}
+	res.FellBack = true
+	return e.runRace(ctx, p.Query, e.attempts, limit, sink, res, p.features)
+}
+
+// runFTV answers a containment query through the cache (when enabled) or
+// the raced verifier.
+func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
+	var (
+		ids []int
+		err error
+	)
+	if e.cache != nil {
+		ids, err = e.cache.Answer(ctx, p.Query)
+		res.Winner = e.cache.Name()
+	} else {
+		ids, err = e.ftvRacer.Answer(ctx, p.Query)
+		res.Winner = e.ftvRacer.Name()
+	}
+	if err != nil {
+		return err
+	}
+	res.GraphIDs = ids
+	return nil
+}
+
+// AnswerStream streams a dataset engine's containment answer: each
+// containing graph ID is handed to emit as soon as its verification — and
+// that of every candidate before it — settles, in the same ascending order
+// Query returns. emit returning false cancels the outstanding work. emit
+// runs on verification goroutines under an internal lock and must not
+// block (in particular, not on work that only proceeds after AnswerStream
+// returns). The stream bypasses the result cache (a partial answer must
+// not be remembered as complete).
+func (e *Engine) AnswerStream(ctx context.Context, q *Graph, emit func(graphID int) bool) error {
+	if e.ftvRacer == nil {
+		return errors.New("psi: AnswerStream requires a dataset engine")
+	}
+	return e.ftvRacer.AnswerStream(ctx, q, emit)
+}

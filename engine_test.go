@@ -1,0 +1,436 @@
+package psi_test
+
+// Tests for the plan/execute Engine facade: planning policies, execution
+// parity with the free-function paths, streaming, deadlines and the FTV
+// pipeline behind the result cache.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	psi "github.com/psi-graph/psi"
+)
+
+func engineFixture(t *testing.T) (*psi.Graph, *psi.Graph) {
+	t.Helper()
+	g := psi.GenerateYeastLike(psi.Tiny, 3)
+	q := psi.ExtractQuery(g, 5, 11)
+	return g, q
+}
+
+func TestEngineQueryMatchesDirectMatch(t *testing.T) {
+	g, q := engineFixture(t)
+	eng, err := psi.NewEngine(g, psi.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	want, err := psi.MustNewMatcher(psi.GraphQL, g).Match(context.Background(), q, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(context.Background(), q, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != psi.PlanRace {
+		t.Errorf("default mode should plan a race, got %v", res.Kind)
+	}
+	if res.Found != len(want) || len(res.Embeddings) != len(want) {
+		t.Fatalf("engine found %d embeddings, direct match %d", res.Found, len(want))
+	}
+	for _, e := range res.Embeddings {
+		if err := psi.VerifyEmbedding(q, g, e); err != nil {
+			t.Fatalf("engine emitted invalid embedding: %v", err)
+		}
+	}
+	if res.Winner == "" || res.Elapsed <= 0 {
+		t.Errorf("result missing provenance: winner=%q elapsed=%v", res.Winner, res.Elapsed)
+	}
+}
+
+func TestEngineQueryStreamParity(t *testing.T) {
+	g, q := engineFixture(t)
+	eng, err := psi.NewEngine(g, psi.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	slice, err := eng.Query(context.Background(), q, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []psi.Embedding
+	res, err := eng.QueryStream(context.Background(), q, 100000, psi.SinkFunc(func(e psi.Embedding) bool {
+		streamed = append(streamed, e)
+		return true
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != slice.Found || res.Found != slice.Found {
+		t.Fatalf("streamed %d embeddings (Found=%d), slice path found %d",
+			len(streamed), res.Found, slice.Found)
+	}
+	if res.Embeddings != nil {
+		t.Error("streaming execution must not also materialize embeddings")
+	}
+	for _, e := range streamed {
+		if err := psi.VerifyEmbedding(q, g, e); err != nil {
+			t.Fatalf("streamed embedding invalid: %v", err)
+		}
+	}
+}
+
+func TestEngineFirstResultStopsEarly(t *testing.T) {
+	g, q := engineFixture(t)
+	eng, err := psi.NewEngine(g, psi.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	emitted := 0
+	res, err := eng.QueryStream(context.Background(), q, 100000, psi.SinkFunc(func(psi.Embedding) bool {
+		emitted++
+		return false
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 1 || res.Found != 1 {
+		t.Fatalf("first-result stream emitted %d (Found=%d), want 1", emitted, res.Found)
+	}
+}
+
+func TestEngineModeSinglePlansFixed(t *testing.T) {
+	g, q := engineFixture(t)
+	eng, err := psi.NewEngine(g, psi.EngineOptions{
+		Mode:       psi.ModeSingle,
+		Algorithms: []psi.Algorithm{psi.VF2, psi.GraphQL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	p, err := eng.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != psi.PlanFixed || len(p.Attempts) != 1 {
+		t.Fatalf("ModeSingle plan = %v with %d attempts, want fixed/1", p.Kind, len(p.Attempts))
+	}
+	res, err := eng.Execute(context.Background(), p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "VF2-Orig" {
+		t.Errorf("fixed plan should run the portfolio's first attempt, winner=%q", res.Winner)
+	}
+}
+
+func TestEngineModePredictWarmsUpThenPredicts(t *testing.T) {
+	g, _ := engineFixture(t)
+	eng, err := psi.NewEngine(g, psi.EngineOptions{
+		Mode:        psi.ModePredict,
+		WarmupRaces: 3,
+		SoloBudget:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	sawPredicted := false
+	for i := 0; i < 12; i++ {
+		q := psi.ExtractQuery(g, 4, int64(100+i))
+		p, err := eng.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 3 && p.Kind != psi.PlanRace {
+			t.Fatalf("query %d during warmup planned %v, want race", i, p.Kind)
+		}
+		res, err := eng.Execute(context.Background(), p, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Kind == psi.PlanPredicted {
+			sawPredicted = true
+			if p.Predicted < 0 {
+				t.Fatal("predicted plan without a predicted index")
+			}
+		}
+		// Answers stay correct in every mode.
+		want, err := psi.MustNewMatcher(psi.GraphQL, g).Match(context.Background(), q, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FellBack {
+			continue // fallback re-raced: count still checked below
+		}
+		if res.Found != len(want) {
+			t.Fatalf("query %d (%v): engine found %d, direct %d", i, p.Kind, res.Found, len(want))
+		}
+	}
+	if !sawPredicted {
+		t.Error("model never produced a predicted plan after warmup")
+	}
+}
+
+func TestEngineDeadlineKillsQuery(t *testing.T) {
+	// A large single-label graph with a big query: full enumeration takes
+	// far longer than the 5ms cap.
+	b := psi.NewBuilder("dense")
+	const n = 300
+	for i := 0; i < n; i++ {
+		b.AddVertex(0)
+	}
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(i-1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n-7; i += 3 {
+		if err := b.AddEdge(i, i+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := psi.ExtractQuery(g, 9, 5)
+	eng, err := psi.NewEngine(g, psi.EngineOptions{Timeout: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := eng.Query(context.Background(), q, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Killed {
+		t.Skip("enumeration finished inside the cap on this machine")
+	}
+	if res.Found != 0 || res.Embeddings != nil {
+		t.Error("killed query must surface an empty answer")
+	}
+	if res.Elapsed != 5*time.Millisecond {
+		t.Errorf("killed query Elapsed = %v, want clamped to the 5ms cap", res.Elapsed)
+	}
+}
+
+func TestEngineDeadlineStreamingKeepsSurfacedCount(t *testing.T) {
+	// Same dense fixture as the kill test, streamed: embeddings that
+	// reached the sink before the kill must stay counted in Found.
+	b := psi.NewBuilder("dense")
+	const n = 300
+	for i := 0; i < n; i++ {
+		b.AddVertex(0)
+	}
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(i-1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n-7; i += 3 {
+		if err := b.AddEdge(i, i+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := psi.ExtractQuery(g, 9, 5)
+	eng, err := psi.NewEngine(g, psi.EngineOptions{Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	streamed := 0
+	res, err := eng.QueryStream(context.Background(), q, 1<<30, psi.SinkFunc(func(psi.Embedding) bool {
+		streamed++
+		return true
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Killed {
+		t.Skip("enumeration finished inside the cap on this machine")
+	}
+	if res.Found != streamed {
+		t.Errorf("killed streaming run reports Found=%d, sink saw %d", res.Found, streamed)
+	}
+}
+
+func TestEnginePlanDoesNotAliasPortfolio(t *testing.T) {
+	g, q := engineFixture(t)
+	eng, err := psi.NewEngine(g, psi.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	p, err := eng.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Attempts[0] = psi.Attempt{} // caller scribbles on the plan
+	if got := eng.Attempts(); got[0].Matcher == nil {
+		t.Fatal("mutating a plan's attempts corrupted the engine's portfolio")
+	}
+	if _, err := eng.Query(context.Background(), q, 1); err != nil {
+		t.Fatalf("engine broken after plan mutation: %v", err)
+	}
+}
+
+func TestEnginePlanRejectsForeignAndNil(t *testing.T) {
+	g, q := engineFixture(t)
+	e1, err := psi.NewEngine(g, psi.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+	e2, err := psi.NewEngine(g, psi.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	p, err := e1.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Execute(context.Background(), p, 1); err == nil {
+		t.Error("executing another engine's plan must fail")
+	}
+	if _, err := e1.Execute(context.Background(), nil, 1); err == nil {
+		t.Error("executing a nil plan must fail")
+	}
+	if _, err := e1.ExecuteStream(context.Background(), p, 1, nil); err == nil {
+		t.Error("ExecuteStream without a sink must fail")
+	}
+}
+
+func TestDatasetEngineMatchesFTVAnswer(t *testing.T) {
+	ds := psi.GeneratePPI(psi.Tiny, 2)
+	q := psi.ExtractQuery(ds[0], 4, 9)
+	eng, err := psi.NewDatasetEngine(ds, psi.EngineOptions{
+		Rewritings: []psi.Rewriting{psi.Orig, psi.DND},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	want, err := psi.FTVAnswer(context.Background(), psi.NewGrapes(ds, 1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(context.Background(), q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != psi.PlanFTV {
+		t.Errorf("dataset engine planned %v, want ftv", res.Kind)
+	}
+	if len(res.GraphIDs) != len(want) {
+		t.Fatalf("engine answered %v, FTVAnswer %v", res.GraphIDs, want)
+	}
+	for i := range want {
+		if res.GraphIDs[i] != want[i] {
+			t.Fatalf("engine answered %v, FTVAnswer %v", res.GraphIDs, want)
+		}
+	}
+	// Repeat query: the result cache must serve it and stats must move.
+	if _, err := eng.Query(context.Background(), q, 0); err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := eng.CacheStats()
+	if !ok {
+		t.Fatal("dataset engine should have a result cache by default")
+	}
+	if stats.ExactHits == 0 {
+		t.Errorf("repeated query not served from cache: %+v", stats)
+	}
+}
+
+func TestDatasetEngineAnswerStream(t *testing.T) {
+	ds := psi.GeneratePPI(psi.Tiny, 2)
+	q := psi.ExtractQuery(ds[0], 3, 7)
+	eng, err := psi.NewDatasetEngine(ds, psi.EngineOptions{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := eng.Query(context.Background(), q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []int
+	if err := eng.AnswerStream(context.Background(), q, func(id int) bool {
+		streamed = append(streamed, id)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.GraphIDs) {
+		t.Fatalf("streamed %v, Query answered %v", streamed, res.GraphIDs)
+	}
+	for i := range streamed {
+		if streamed[i] != res.GraphIDs[i] {
+			t.Fatalf("streamed %v, Query answered %v", streamed, res.GraphIDs)
+		}
+	}
+	// NFV engines must reject AnswerStream.
+	g, _ := engineFixture(t)
+	nfv, err := psi.NewEngine(g, psi.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nfv.Close()
+	if err := nfv.AnswerStream(context.Background(), q, func(int) bool { return true }); err == nil {
+		t.Error("AnswerStream on an NFV engine must fail")
+	}
+}
+
+func TestEngineOptionValidation(t *testing.T) {
+	if _, err := psi.NewEngine(nil, psi.EngineOptions{}); err == nil {
+		t.Error("NewEngine(nil) must fail")
+	}
+	if _, err := psi.NewDatasetEngine(nil, psi.EngineOptions{}); err == nil {
+		t.Error("NewDatasetEngine(empty) must fail")
+	}
+	g := psi.MustNewGraph("g", []psi.Label{0}, nil)
+	if _, err := psi.NewEngine(g, psi.EngineOptions{Mode: "warp"}); err == nil {
+		t.Error("unknown mode must fail")
+	}
+	if _, err := psi.NewDatasetEngine([]*psi.Graph{g}, psi.EngineOptions{Index: "btree"}); err == nil {
+		t.Error("unknown index must fail")
+	}
+	if _, err := psi.ParseMode("predict"); err != nil {
+		t.Error("ParseMode must accept predict")
+	}
+}
+
+func TestEngineOwnedPoolAndAccessors(t *testing.T) {
+	g, q := engineFixture(t)
+	eng, err := psi.NewEngine(g, psi.EngineOptions{Workers: 2, Mode: psi.ModeRace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Mode() != psi.ModeRace || eng.Graph() != g || eng.Dataset() != nil {
+		t.Error("accessors disagree with construction")
+	}
+	if got := eng.Attempts(); len(got) != 4 { // 2 algorithms × 2 rewritings
+		t.Errorf("default portfolio has %d attempts, want 4", len(got))
+	}
+	if _, ok := eng.CacheStats(); ok {
+		t.Error("NFV engine must not report cache stats")
+	}
+	if _, err := eng.Query(context.Background(), q, 5); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close() // must not panic; queries after Close degrade gracefully
+	if _, err := eng.Query(context.Background(), q, 5); err != nil {
+		t.Errorf("query after Close should degrade gracefully, got %v", err)
+	}
+}

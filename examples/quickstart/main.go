@@ -1,7 +1,8 @@
 // Quickstart: build a stored graph and a query in code, then answer the
-// query three ways — with a single algorithm, with a Ψ-framework portfolio
-// racing two algorithms and two rewritings, and with an explicit race that
-// reports which attempt won.
+// query through the psi.Engine — the plan/execute facade over the
+// Ψ-framework — four ways: a collected race, a streamed race that reports
+// embeddings as they are found, a first-result decision, and an explicit
+// plan inspected before execution.
 package main
 
 import (
@@ -27,36 +28,56 @@ func main() {
 	// Query: a C-N-C path.
 	q := psi.MustNewGraph("c-n-c", []psi.Label{0, 1, 0}, [][2]int{{0, 1}, {1, 2}})
 
-	// 1. One algorithm.
-	gql := psi.MustNewMatcher(psi.GraphQL, g)
-	embs, err := gql.Match(context.Background(), q, 1000)
+	// One long-lived engine serves every query: it owns the matchers, the
+	// label frequencies the rewritings need, and the execution pool.
+	eng, err := psi.NewEngine(g, psi.EngineOptions{
+		Algorithms: []psi.Algorithm{psi.GraphQL, psi.SPath},
+		Rewritings: []psi.Rewriting{psi.Orig, psi.DND},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("GraphQL alone: %d embeddings\n", len(embs))
-	for _, e := range embs {
+	defer eng.Close()
+	ctx := context.Background()
+
+	// 1. A collected race: plan and execute in one call.
+	res, err := eng.Query(ctx, q, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("race: %d embeddings, winner=%s in %v\n", res.Found, res.Winner, res.Elapsed)
+	for _, e := range res.Embeddings {
 		fmt.Printf("  query vertices -> graph vertices: %v\n", e)
 	}
 
-	// 2. A Ψ-framework portfolio as a drop-in Matcher.
-	m := psi.NewPortfolioMatcher(g,
-		[]psi.Algorithm{psi.GraphQL, psi.SPath},
-		[]psi.Rewriting{psi.Orig, psi.DND})
-	embs2, err := m.Match(context.Background(), q, 1000)
-	if err != nil {
+	// 2. The same race, streamed: each embedding arrives the moment the
+	// adopted attempt finds it — no waiting for full enumeration.
+	n := 0
+	if _, err = eng.QueryStream(ctx, q, 1000, psi.SinkFunc(func(e psi.Embedding) bool {
+		n++
+		fmt.Printf("streamed #%d: %v\n", n, e)
+		return true
+	})); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s: %d embeddings (same answer, first finisher wins)\n", m.Name(), len(embs2))
 
-	// 3. An explicit race, to see who won.
-	attempts := psi.Portfolio(
-		[]psi.Matcher{psi.MustNewMatcher(psi.VF2, g), psi.MustNewMatcher(psi.QuickSI, g)},
-		[]psi.Rewriting{psi.Orig, psi.ILF},
-	)
-	res, err := psi.Race(context.Background(), g, q, 1000, attempts)
+	// 3. A decision: the sink stops the race at the first embedding, and
+	// every other attempt is cancelled immediately.
+	first, err := eng.QueryStream(ctx, q, 1000, psi.SinkFunc(func(psi.Embedding) bool { return false }))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("explicit race over %d attempts: winner=%s elapsed=%v contained=%v\n",
-		res.Attempts, res.Winner.Label(), res.Elapsed, res.Contained())
+	fmt.Printf("first-result: contained=%v after %v\n", first.Contained(), first.Elapsed)
+
+	// 4. Plan and execute separately, to see what the engine chose.
+	plan, err := eng.Plan(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: kind=%s over %d attempts\n", plan.Kind, len(plan.Attempts))
+	res, err = eng.Execute(ctx, plan, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed: %d embeddings, winner=%s\n", res.Found, res.Winner)
 }

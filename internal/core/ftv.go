@@ -132,3 +132,18 @@ func (f *FTVRacer) Answer(ctx context.Context, q *graph.Graph) ([]int, error) {
 		return res.Contained, err
 	})
 }
+
+// AnswerStream is the streaming form of Answer: each containing graph ID is
+// handed to emit as soon as its raced verification — and that of every
+// candidate before it — has settled, so the caller observes answers
+// incrementally yet in the same ascending order Answer returns. emit
+// returning false cancels the outstanding verifications and ends the stream
+// with a nil error. emit is called from verification goroutines under an
+// internal lock and must not block — in particular, it must not wait on
+// work that only proceeds after AnswerStream returns.
+func (f *FTVRacer) AnswerStream(ctx context.Context, q *graph.Graph, emit func(graphID int) bool) error {
+	return ftv.StreamCandidates(ctx, f.Pool, f.Index.Filter(q), emit, func(gctx context.Context, id int) (bool, error) {
+		res, err := f.Verify(gctx, q, id)
+		return res.Contained, err
+	})
+}

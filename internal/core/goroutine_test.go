@@ -152,6 +152,41 @@ func TestRaceReleasesGoroutines(t *testing.T) {
 	}
 }
 
+// TestRaceStreamCancelAfterFirstEmissionNoLeak is the streaming analogue
+// of TestRaceReleasesGoroutines: hundreds of races whose sink stops the
+// search at the very first emission — the decision-query fast path that
+// cancels every straggler attempt mid-flight — must not accrete goroutines.
+func TestRaceStreamCancelAfterFirstEmissionNoLeak(t *testing.T) {
+	g := graph.MustNew("g", []graph.Label{0, 1, 0, 1, 0}, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	q := graph.MustNew("q", []graph.Label{0, 1}, [][2]int{{0, 1}})
+	racer := NewRacer(g)
+	racer.Pool = exec.New(2)
+	defer racer.Pool.Close()
+	attempts := Rewritings(vf2.New(g), []rewrite.Kind{rewrite.Orig, rewrite.ILF, rewrite.DND})
+	stopSink := match.SinkFunc(func(match.Embedding) bool { return false })
+	// Warm up so pool workers exist before the baseline is taken.
+	if _, err := racer.RaceStream(context.Background(), q, 1000, attempts, stopSink); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 500; i++ {
+		res, err := racer.RaceStream(context.Background(), q, 1000, attempts, stopSink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found != 1 {
+			t.Fatalf("iteration %d: Found = %d, want 1 (sink stopped after first emission)", i, res.Found)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+4 {
+		t.Errorf("goroutines grew from %d to %d over 500 first-emission-cancelled races", before, after)
+	}
+}
+
 // TestRacePanicIsolated proves a panicking matcher surfaces as an attempt
 // error instead of crashing the process.
 func TestRacePanicIsolated(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/psi-graph/psi/internal/exec"
@@ -36,8 +37,13 @@ func (a Attempt) Label() string {
 // Result is the outcome of a race.
 type Result struct {
 	// Embeddings are the winner's embeddings, already mapped back to the
-	// original query's vertex numbering.
+	// original query's vertex numbering. Nil for RaceStream, whose
+	// embeddings go to the caller's sink instead.
 	Embeddings []match.Embedding
+	// Found is the number of embeddings the winner produced — equal to
+	// len(Embeddings) for Race, and the count streamed into the sink for
+	// RaceStream.
+	Found int
 	// Winner is the attempt that finished first.
 	Winner Attempt
 	// WinnerIndex is the winner's position in the attempts slice.
@@ -49,7 +55,7 @@ type Result struct {
 }
 
 // Contained reports whether the query was found at all.
-func (r Result) Contained() bool { return len(r.Embeddings) > 0 }
+func (r Result) Contained() bool { return r.Found > 0 }
 
 // Racer runs Ψ-framework races. The zero value works for rewritings that
 // need no label statistics (Orig, IND, DND, Random); construct with NewRacer
@@ -151,11 +157,153 @@ func (r *Racer) Race(ctx context.Context, q *graph.Graph, limit int, attempts []
 		}
 		return Result{
 			Embeddings:  o.embs,
+			Found:       len(o.embs),
 			Winner:      attempts[o.idx],
 			WinnerIndex: o.idx,
 			Elapsed:     time.Since(start),
 			Attempts:    len(attempts),
 		}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return Result{}, errors.Join(errs...)
+}
+
+// RaceStream is the streaming form of Race: the winner's embeddings flow
+// into sink as they are found, already mapped back to q's numbering,
+// instead of being materialized in the Result. Where Race adopts the first
+// attempt to *finish*, RaceStream adopts the first attempt to *emit*: the
+// first embedding anyone finds claims the output stream for its attempt and
+// cancels every other attempt immediately. For decision queries (limit <= 0)
+// the race therefore ends at the very first embedding discovered by any
+// contender — first-result latency is the fastest attempt's time-to-first,
+// not its time-to-completion. An attempt that completes with no embeddings
+// (and no error) before anyone has emitted wins an empty race, exactly as
+// in Race. Returning false from the sink stops the adopted winner, ending
+// the race successfully with the embeddings seen so far.
+//
+// The returned Result carries the winner's identity and Found (how many
+// embeddings reached the sink); Result.Embeddings stays nil.
+func (r *Racer) RaceStream(ctx context.Context, q *graph.Graph, limit int, attempts []Attempt, sink match.Sink) (Result, error) {
+	if len(attempts) == 0 {
+		return Result{}, errors.New("psi: no attempts to race")
+	}
+	if sink == nil {
+		return Result{}, errors.New("psi: RaceStream requires a sink")
+	}
+	pool := r.Pool
+	if pool == nil {
+		pool = exec.Default()
+	}
+	raceCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	// Per-attempt contexts so adoption can kill every contender except the
+	// adopted one while it keeps streaming.
+	ctxs := make([]context.Context, len(attempts))
+	cancels := make([]context.CancelFunc, len(attempts))
+	for i := range attempts {
+		ctxs[i], cancels[i] = context.WithCancel(raceCtx)
+	}
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	var adopted atomic.Int32
+	adopted.Store(-1)
+	type outcome struct {
+		idx     int
+		emitted int
+		lost    bool // stopped because another attempt owns the stream
+		err     error
+	}
+	ch := make(chan outcome, len(attempts))
+	start := time.Now()
+	for i, a := range attempts {
+		idx, a := i, a
+		pool.Go(func() {
+			o := outcome{idx: idx}
+			defer func() {
+				if rec := recover(); rec != nil {
+					o.err = fmt.Errorf("psi: attempt panic: %v", rec)
+				}
+				ch <- o
+			}()
+			q2, perm := rewrite.Apply(q, r.Frequencies, a.Rewriting, a.Seed)
+			s := match.SinkFunc(func(e match.Embedding) bool {
+				if adopted.Load() != int32(idx) {
+					if !adopted.CompareAndSwap(-1, int32(idx)) {
+						o.lost = true
+						return false
+					}
+					// First emission of the whole race: this attempt now
+					// owns the output; stop the others immediately.
+					for j, c := range cancels {
+						if j != idx {
+							c()
+						}
+					}
+				}
+				if a.Rewriting != rewrite.Orig {
+					e = rewrite.MapBack(e, perm)
+				}
+				if r.Validate {
+					if verr := match.VerifyEmbedding(q, attemptGraph(a), e); verr != nil {
+						o.err = fmt.Errorf("psi: winner %s emitted invalid embedding: %w", a.Label(), verr)
+						return false
+					}
+				}
+				o.emitted++
+				return sink.Emit(e)
+			})
+			err := match.Stream(ctxs[idx], a.Matcher, q2, limit, s)
+			if o.err == nil && !o.lost {
+				o.err = err
+			}
+		})
+	}
+	var errs []error
+	for n := 0; n < len(attempts); n++ {
+		o := <-ch
+		switch {
+		case o.lost:
+			// A loser that raced the winner to its first emission; its
+			// outcome carries no information.
+		case o.err != nil:
+			if int(adopted.Load()) == o.idx {
+				// The adopted attempt died mid-stream (cancellation from
+				// the parent, or an invalid embedding under Validate). The
+				// sink may hold partial output, so the race as a whole
+				// fails rather than silently switching winners.
+				return Result{}, fmt.Errorf("%s: %w", attempts[o.idx].Label(), o.err)
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", attempts[o.idx].Label(), o.err))
+		case int(adopted.Load()) == o.idx:
+			// The adopted winner ran to completion (or the caller's sink
+			// stopped it): the race is decided.
+			cancelAll()
+			return Result{
+				Found:       o.emitted,
+				Winner:      attempts[o.idx],
+				WinnerIndex: o.idx,
+				Elapsed:     time.Since(start),
+				Attempts:    len(attempts),
+			}, nil
+		case adopted.CompareAndSwap(-1, int32(o.idx)):
+			// Completed with zero embeddings before anyone emitted: an
+			// empty answer wins the race (all attempts are isomorphic, so
+			// they would all come up empty).
+			cancelAll()
+			return Result{
+				Winner:      attempts[o.idx],
+				WinnerIndex: o.idx,
+				Elapsed:     time.Since(start),
+				Attempts:    len(attempts),
+			}, nil
+		default:
+			// Completed empty after another attempt was adopted; ignore.
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
@@ -216,4 +364,12 @@ func (m *RacedMatcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]
 		return nil, err
 	}
 	return res.Embeddings, nil
+}
+
+// MatchStream implements match.StreamMatcher by streaming the race: the
+// first attempt to emit is adopted and its embeddings flow straight into
+// sink.
+func (m *RacedMatcher) MatchStream(ctx context.Context, q *graph.Graph, limit int, sink match.Sink) error {
+	_, err := m.racer.RaceStream(ctx, q, limit, m.attempts, sink)
+	return err
 }

@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/binary"
 	"sort"
+	"sync"
 
 	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/graph"
@@ -69,22 +70,97 @@ func ParallelAnswer(ctx context.Context, x Index, q *graph.Graph, p *exec.Pool) 
 
 // VerifyCandidates runs check over a candidate ID list across the pool's
 // workers and returns the IDs that checked out, preserving the input order.
-// This is the one fan-out-and-assemble shape shared by ParallelAnswer, the
-// cached wrapper, and the FTV racer's candidate loop.
+// It is the collecting wrapper over StreamCandidates, the one
+// fan-out-and-assemble shape shared by ParallelAnswer, the cached wrapper,
+// and the FTV racer's candidate loop.
 func VerifyCandidates(ctx context.Context, p *exec.Pool, ids []int, check func(ctx context.Context, id int) (bool, error)) ([]int, error) {
-	hits, err := ParallelHits(ctx, p, len(ids), func(gctx context.Context, i int) (bool, error) {
-		return check(gctx, ids[i])
-	})
+	var out []int
+	err := StreamCandidates(ctx, p, ids, func(id int) bool {
+		out = append(out, id)
+		return true
+	}, check)
 	if err != nil {
 		return nil, err
 	}
-	var out []int
-	for i, hit := range hits {
-		if hit {
-			out = append(out, ids[i])
-		}
-	}
 	return out, nil
+}
+
+// StreamCandidates is the streaming form of VerifyCandidates: check fans out
+// over ids across the pool's workers (nil selects the shared default pool;
+// one candidate runs on the caller's goroutine), and each ID that checks out
+// is handed to emit as soon as it — and every candidate before it — has been
+// decided, so emissions arrive incrementally yet in exactly the input order.
+// emit returning false cancels the remaining verifications and ends the
+// stream with a nil error; the first check error cancels the rest and is
+// returned. emit runs under an internal lock and must not block.
+func StreamCandidates(ctx context.Context, p *exec.Pool, ids []int, emit func(id int) bool, check func(ctx context.Context, id int) (bool, error)) error {
+	n := len(ids)
+	if n <= 1 {
+		for _, id := range ids {
+			ok, err := check(ctx, id)
+			if err != nil {
+				return err
+			}
+			if ok && !emit(id) {
+				return nil
+			}
+		}
+		return nil
+	}
+	if p == nil {
+		p = exec.Default()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	const (
+		pending = uint8(iota)
+		hit
+		miss
+	)
+	var (
+		mu      sync.Mutex
+		state   = make([]uint8, n)
+		next    int // first undecided position: everything before it is emitted or skipped
+		stopped bool
+	)
+	grp := p.NewGroup(sctx)
+	for i := range ids {
+		i := i
+		grp.Go(func(gctx context.Context) error {
+			ok, err := check(gctx, ids[i])
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if stopped {
+				return nil
+			}
+			if ok {
+				state[i] = hit
+			} else {
+				state[i] = miss
+			}
+			// Flush the newly contiguous decided prefix in input order.
+			for next < n && state[next] != pending {
+				if state[next] == hit && !emit(ids[next]) {
+					stopped = true
+					cancel()
+					return nil
+				}
+				next++
+			}
+			return nil
+		})
+	}
+	err := grp.Wait()
+	mu.Lock()
+	wasStopped := stopped
+	mu.Unlock()
+	if wasStopped {
+		return nil
+	}
+	return err
 }
 
 // ParallelHits evaluates check(ctx, i) for every i in [0, n) across the

@@ -77,32 +77,38 @@ func sigContains(super, sub []graph.Label) bool {
 	return true
 }
 
-// Match implements match.Matcher.
+// Match implements match.Matcher by collecting the stream into a slice.
 func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match.Embedding, error) {
+	return match.CollectMatch(ctx, m, q, limit)
+}
+
+// MatchStream implements match.StreamMatcher: embeddings are emitted into
+// sink as the search discovers them.
+func (m *Matcher) MatchStream(ctx context.Context, q *graph.Graph, limit int, sink match.Sink) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	col := match.NewCollector(limit)
+	col := match.NewStreamCollector(limit, sink)
 	if q.N() == 0 {
-		return col.Finish(col.Found(match.Embedding{}))
+		return col.FinishStream(col.Found(match.Embedding{}))
 	}
 	if q.N() > m.g.N() || q.M() > m.g.M() {
-		return nil, nil
+		return nil
 	}
 	budget := match.NewBudget(ctx)
 	cand, err := m.candidates(q, budget)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if cand == nil {
-		return nil, nil // some query vertex has no candidates
+		return nil // some query vertex has no candidates
 	}
 	if err := m.refineCandidates(q, cand, budget); err != nil {
-		return nil, err
+		return err
 	}
 	for _, c := range cand {
 		if len(c) == 0 {
-			return nil, nil
+			return nil
 		}
 	}
 	order := m.searchOrder(q, cand)
@@ -128,7 +134,7 @@ func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match
 	for i := range s.emb {
 		s.emb[i] = -1
 	}
-	return col.Finish(s.step(0))
+	return col.FinishStream(s.step(0))
 }
 
 // candidates builds the initial per-query-vertex candidate lists using

@@ -32,6 +32,178 @@ func allMatchers(g *graph.Graph) []match.Matcher {
 	}
 }
 
+// allStreamMatchers is every matcher in the module — the four algorithms
+// plus the naive reference — as stream matchers. The conversion is a
+// compile-time check that each implements match.StreamMatcher.
+func allStreamMatchers(g *graph.Graph) []match.StreamMatcher {
+	return []match.StreamMatcher{
+		vf2.New(g),
+		quicksi.New(g),
+		gql.New(g),
+		spath.New(g),
+		match.NewReference(g),
+	}
+}
+
+// embeddingsEqual reports byte-identical embedding slices: same length,
+// same order, same vertices.
+func embeddingsEqual(a, b []match.Embedding) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// collect drains MatchStream into a slice through a plain always-true sink.
+func collect(t *testing.T, m match.StreamMatcher, q *graph.Graph, limit int) []match.Embedding {
+	t.Helper()
+	var out []match.Embedding
+	err := m.MatchStream(context.Background(), q, limit, match.SinkFunc(func(e match.Embedding) bool {
+		out = append(out, e)
+		return true
+	}))
+	if err != nil {
+		t.Fatalf("%s: MatchStream: %v", m.Name(), err)
+	}
+	return out
+}
+
+// TestStreamingParityWithSlicePath is the tentpole's safety net: for every
+// matcher, the sink-collected stream must be byte-identical — same
+// embeddings, same order — to the Match slice path, across random graphs,
+// query shapes and limits, including the empty query.
+func TestStreamingParityWithSlicePath(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		g := randomLabeledGraph(r, 10+r.Intn(15), 10, 2)
+		var q *graph.Graph
+		switch trial % 3 {
+		case 0:
+			q = extractQuery(r, g, 2+r.Intn(4))
+		case 1:
+			q = randomLabeledGraph(r, 3+r.Intn(3), 2, 2) // may be absent
+		default:
+			q = graph.MustNew("empty", nil, nil)
+		}
+		for _, limit := range []int{1, 7, 100000} {
+			for _, m := range allStreamMatchers(g) {
+				want, err := m.Match(context.Background(), q, limit)
+				if err != nil {
+					t.Fatalf("trial %d %s: Match: %v", trial, m.Name(), err)
+				}
+				got := collect(t, m, q, limit)
+				if !embeddingsEqual(got, want) {
+					t.Fatalf("trial %d %s limit %d: stream %v != slice %v",
+						trial, m.Name(), limit, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingMidStreamCancellation stops the sink after k embeddings:
+// the search must terminate with a nil error having emitted exactly k, and
+// those k must be the first k of the slice path.
+func TestStreamingMidStreamCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	g := randomLabeledGraph(r, 20, 30, 1) // single label: many embeddings
+	q := extractQuery(r, g, 3)
+	const lim = 100000
+	for _, m := range allStreamMatchers(g) {
+		full, err := m.Match(context.Background(), q, lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full) < 5 {
+			t.Fatalf("%s: test graph too sparse (%d embeddings)", m.Name(), len(full))
+		}
+		for _, k := range []int{1, 3, len(full) - 1} {
+			var got []match.Embedding
+			err := m.MatchStream(context.Background(), q, lim, match.SinkFunc(func(e match.Embedding) bool {
+				got = append(got, e)
+				return len(got) < k
+			}))
+			if err != nil {
+				t.Fatalf("%s: sink-stopped stream must return nil, got %v", m.Name(), err)
+			}
+			if len(got) != k {
+				t.Fatalf("%s: sink stopped at %d but saw %d embeddings", m.Name(), k, len(got))
+			}
+			if !embeddingsEqual(got, full[:k]) {
+				t.Fatalf("%s: first %d streamed embeddings diverge from slice prefix", m.Name(), k)
+			}
+		}
+	}
+}
+
+// TestStreamingDecisionSemantics checks limit <= 0 streams exactly one
+// embedding (the decision convention), for both 0 and negative limits.
+func TestStreamingDecisionSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	g := randomLabeledGraph(r, 15, 10, 1)
+	q := extractQuery(r, g, 2)
+	for _, limit := range []int{0, -3} {
+		for _, m := range allStreamMatchers(g) {
+			got := collect(t, m, q, limit)
+			if len(got) != 1 {
+				t.Errorf("%s: limit %d must stream exactly one embedding, got %d",
+					m.Name(), limit, len(got))
+			}
+		}
+	}
+}
+
+// TestStreamingCancelledContext mirrors TestCancelledContext for the
+// streaming path: a dead context must surface as an error promptly.
+func TestStreamingCancelledContext(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	g := randomLabeledGraph(r, 200, 1500, 1)
+	q := extractQuery(r, g, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range allStreamMatchers(g) {
+		err := m.MatchStream(ctx, q, 1000000, match.SinkFunc(func(match.Embedding) bool { return true }))
+		if err == nil {
+			t.Errorf("%s: expected context error from streaming match", m.Name())
+		}
+	}
+}
+
+// TestStreamingEmbeddingsAreClones guards against the stream aliasing the
+// search's scratch buffer: a retained embedding must not change as the
+// search continues.
+func TestStreamingEmbeddingsAreClones(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	g := randomLabeledGraph(r, 15, 20, 1)
+	q := extractQuery(r, g, 3)
+	for _, m := range allStreamMatchers(g) {
+		var kept []match.Embedding
+		if err := m.MatchStream(context.Background(), q, 50, match.SinkFunc(func(e match.Embedding) bool {
+			kept = append(kept, e)
+			return true
+		})); err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.Match(context.Background(), q, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !embeddingsEqual(kept, want) {
+			t.Fatalf("%s: embeddings mutated after emission — stream aliases the search buffer", m.Name())
+		}
+	}
+}
+
 // randomLabeledGraph builds a connected random graph.
 func randomLabeledGraph(r *rand.Rand, n, extraEdges, labels int) *graph.Graph {
 	b := graph.NewBuilder("g")

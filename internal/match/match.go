@@ -42,6 +42,72 @@ type Matcher interface {
 	Match(ctx context.Context, q *graph.Graph, limit int) ([]Embedding, error)
 }
 
+// Sink receives embeddings as a streaming search finds them. Emit is called
+// once per embedding, in discovery order, with a copy the sink may retain.
+// Returning false stops the search immediately (a consumer that has seen
+// enough — e.g. a decision query, or a race that only needed the first
+// result). Sinks are called from the searching goroutine and must not block
+// on the search's own completion.
+type Sink interface {
+	Emit(Embedding) bool
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Embedding) bool
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Embedding) bool { return f(e) }
+
+// StreamMatcher is the streaming face of a matcher: embeddings are emitted
+// into a sink as the search discovers them instead of being materialized in
+// a slice. Every matcher in this module implements it; Match is the thin
+// collecting wrapper over MatchStream.
+type StreamMatcher interface {
+	Matcher
+
+	// MatchStream emits up to limit embeddings of q into sink (limit <= 0
+	// requests a decision: the search stops after the first embedding).
+	// The search also stops, returning nil, when the sink's Emit returns
+	// false. Context cancellation surfaces as a non-nil error; embeddings
+	// already emitted remain with the sink.
+	MatchStream(ctx context.Context, q *graph.Graph, limit int, sink Sink) error
+}
+
+// CollectMatch drains m.MatchStream into a slice — the canonical
+// implementation of Match on top of MatchStream.
+func CollectMatch(ctx context.Context, m StreamMatcher, q *graph.Graph, limit int) ([]Embedding, error) {
+	var out []Embedding
+	err := m.MatchStream(ctx, q, limit, SinkFunc(func(e Embedding) bool {
+		out = append(out, e)
+		return true
+	}))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream runs m against q in streaming fashion: natively when m implements
+// StreamMatcher, otherwise by materializing Match's slice and replaying it
+// into the sink. The fallback keeps third-party Matcher implementations
+// usable wherever the framework streams (races, the Engine), at the cost of
+// first-result latency.
+func Stream(ctx context.Context, m Matcher, q *graph.Graph, limit int, sink Sink) error {
+	if sm, ok := m.(StreamMatcher); ok {
+		return sm.MatchStream(ctx, q, limit, sink)
+	}
+	embs, err := m.Match(ctx, q, limit)
+	if err != nil {
+		return err
+	}
+	for _, e := range embs {
+		if !sink.Emit(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
 // NormalizeLimit converts the caller's limit into the effective embedding
 // cap: decisions (limit <= 0) stop at the first embedding.
 func NormalizeLimit(limit int) int {
@@ -114,42 +180,47 @@ func VerifyEmbedding(q, g *graph.Graph, emb Embedding) error {
 // once the embedding limit has been reached. It never escapes a Match call.
 var errStop = fmt.Errorf("match: embedding limit reached")
 
-// Collector accumulates embeddings up to a limit, handing searches a single
-// Found callback and translating "limit reached" into errStop.
+// Collector bridges a backtracking search to a Sink: it hands the search a
+// single Found callback, clones each embedding, enforces the limit, and
+// translates both "limit reached" and "sink stopped" into errStop so the
+// search unwinds.
 type Collector struct {
 	limit int
-	out   []Embedding
+	n     int
+	sink  Sink
 }
 
-// NewCollector returns a collector for up to limit embeddings (after
-// NormalizeLimit).
-func NewCollector(limit int) *Collector {
-	return &Collector{limit: NormalizeLimit(limit)}
+// NewStreamCollector returns a collector forwarding up to limit embeddings
+// (after NormalizeLimit) into sink.
+func NewStreamCollector(limit int, sink Sink) *Collector {
+	return &Collector{limit: NormalizeLimit(limit), sink: sink}
 }
 
-// Found records a copy of emb. It returns errStop when the limit is hit,
-// which the search must propagate upward to terminate.
+// Found emits a copy of emb. It returns errStop when the limit is hit or
+// the sink declines further embeddings; the search must propagate the error
+// upward to terminate.
 func (c *Collector) Found(emb Embedding) error {
-	c.out = append(c.out, emb.Clone())
-	if len(c.out) >= c.limit {
+	c.n++
+	if !c.sink.Emit(emb.Clone()) {
+		return errStop
+	}
+	if c.n >= c.limit {
 		return errStop
 	}
 	return nil
 }
 
 // Done reports whether the limit has been reached.
-func (c *Collector) Done() bool { return len(c.out) >= c.limit }
+func (c *Collector) Done() bool { return c.n >= c.limit }
 
-// Results returns the accumulated embeddings.
-func (c *Collector) Results() []Embedding { return c.out }
-
-// Finish converts a search's terminal error into the Match return
-// convention: errStop means a successful, limit-capped run.
-func (c *Collector) Finish(err error) ([]Embedding, error) {
+// FinishStream converts a search's terminal error into the MatchStream
+// return convention: errStop (limit reached or sink stopped) is a normal
+// termination, anything else propagates.
+func (c *Collector) FinishStream(err error) error {
 	if err != nil && err != errStop {
-		return nil, err
+		return err
 	}
-	return c.out, nil
+	return nil
 }
 
 // IsStop reports whether err is the internal limit sentinel. Exposed for

@@ -41,7 +41,11 @@ func TestBudgetStepPollsContext(t *testing.T) {
 }
 
 func TestCollectorLimit(t *testing.T) {
-	c := NewCollector(2)
+	var got []Embedding
+	c := NewStreamCollector(2, SinkFunc(func(e Embedding) bool {
+		got = append(got, e)
+		return true
+	}))
 	if c.Done() {
 		t.Error("fresh collector should not be done")
 	}
@@ -55,32 +59,41 @@ func TestCollectorLimit(t *testing.T) {
 	if !c.Done() {
 		t.Error("collector should be done")
 	}
-	embs, finishErr := c.Finish(err)
-	if finishErr != nil {
-		t.Errorf("Finish should swallow the stop sentinel, got %v", finishErr)
+	if finishErr := c.FinishStream(err); finishErr != nil {
+		t.Errorf("FinishStream should swallow the stop sentinel, got %v", finishErr)
 	}
-	if len(embs) != 2 {
-		t.Errorf("got %d embeddings, want 2", len(embs))
+	if len(got) != 2 {
+		t.Errorf("sink saw %d embeddings, want 2", len(got))
 	}
 }
 
-func TestCollectorFinishPropagatesRealErrors(t *testing.T) {
-	c := NewCollector(5)
-	_, err := c.Finish(context.Canceled)
-	if err != context.Canceled {
-		t.Errorf("Finish must propagate non-sentinel errors, got %v", err)
+func TestCollectorSinkStopIsStop(t *testing.T) {
+	c := NewStreamCollector(10, SinkFunc(func(Embedding) bool { return false }))
+	if err := c.Found(Embedding{1}); !IsStop(err) {
+		t.Errorf("a declining sink must stop the search, got %v", err)
+	}
+}
+
+func TestCollectorFinishStreamPropagatesRealErrors(t *testing.T) {
+	c := NewStreamCollector(5, SinkFunc(func(Embedding) bool { return true }))
+	if err := c.FinishStream(context.Canceled); err != context.Canceled {
+		t.Errorf("FinishStream must propagate non-sentinel errors, got %v", err)
 	}
 }
 
 func TestCollectorClonesEmbeddings(t *testing.T) {
-	c := NewCollector(10)
+	var got []Embedding
+	c := NewStreamCollector(10, SinkFunc(func(e Embedding) bool {
+		got = append(got, e)
+		return true
+	}))
 	e := Embedding{1, 2, 3}
 	if err := c.Found(e); err != nil {
 		t.Fatal(err)
 	}
 	e[0] = 99
-	if c.Results()[0][0] != 1 {
-		t.Error("collector must store a copy, not alias the search buffer")
+	if got[0][0] != 1 {
+		t.Error("collector must emit a copy, not alias the search buffer")
 	}
 }
 

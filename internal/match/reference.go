@@ -23,17 +23,22 @@ func NewReference(g *graph.Graph) *Reference {
 // Name implements Matcher.
 func (r *Reference) Name() string { return "REF" }
 
-// Match implements Matcher by exhaustive backtracking.
+// Match implements Matcher by collecting the stream into a slice.
 func (r *Reference) Match(ctx context.Context, q *graph.Graph, limit int) ([]Embedding, error) {
+	return CollectMatch(ctx, r, q, limit)
+}
+
+// MatchStream implements StreamMatcher by exhaustive backtracking.
+func (r *Reference) MatchStream(ctx context.Context, q *graph.Graph, limit int, sink Sink) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	col := NewCollector(limit)
+	col := NewStreamCollector(limit, sink)
 	if q.N() == 0 {
-		return col.Finish(col.Found(Embedding{}))
+		return col.FinishStream(col.Found(Embedding{}))
 	}
 	if q.N() > r.g.N() {
-		return nil, nil
+		return nil
 	}
 	budget := NewBudget(ctx)
 	emb := make(Embedding, q.N())
@@ -73,5 +78,5 @@ func (r *Reference) Match(ctx context.Context, q *graph.Graph, limit int) ([]Emb
 		}
 		return nil
 	}
-	return col.Finish(rec(0))
+	return col.FinishStream(rec(0))
 }

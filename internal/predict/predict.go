@@ -237,6 +237,63 @@ func (a *AdaptiveMatcher) Match(ctx context.Context, q *graph.Graph, limit int) 
 	return res.Embeddings, nil
 }
 
+// MatchStream implements match.StreamMatcher: the adopted attempt's
+// embeddings flow into sink as they are found. A predicted solo attempt
+// that exhausts its budget *before emitting anything* falls back to a full
+// streaming race; once an embedding has reached the sink the run is
+// committed (partial output cannot be retracted), so a mid-stream budget
+// expiry surfaces as the context error instead.
+func (a *AdaptiveMatcher) MatchStream(ctx context.Context, q *graph.Graph, limit int, sink match.Sink) error {
+	warmup := a.WarmupRaces
+	if warmup <= 0 {
+		warmup = 8
+	}
+	a.mu.Lock()
+	a.seen++
+	inWarmup := a.seen <= warmup
+	a.mu.Unlock()
+
+	feats := Featurize(q, a.Racer.Frequencies)
+	if !inWarmup {
+		if idx := a.Model.Predict(feats); idx >= 0 {
+			budget := a.SoloBudget
+			if budget <= 0 {
+				budget = 50 * time.Millisecond
+			}
+			soloCtx, cancel := context.WithTimeout(ctx, budget)
+			emitted := 0
+			counting := match.SinkFunc(func(e match.Embedding) bool {
+				emitted++
+				return sink.Emit(e)
+			})
+			_, err := a.Racer.RaceStream(soloCtx, q, limit, a.Attempts[idx:idx+1], counting)
+			cancel()
+			if err == nil {
+				a.mu.Lock()
+				a.solo++
+				a.mu.Unlock()
+				a.Model.Observe(feats, idx)
+				return nil
+			}
+			if ctx.Err() != nil {
+				return ctx.Err() // caller's context died, not the budget
+			}
+			if emitted > 0 {
+				return err // committed: partial output already surfaced
+			}
+			a.mu.Lock()
+			a.fell++
+			a.mu.Unlock()
+		}
+	}
+	res, err := a.Racer.RaceStream(ctx, q, limit, a.Attempts, sink)
+	if err != nil {
+		return err
+	}
+	a.Model.Observe(feats, res.WinnerIndex)
+	return nil
+}
+
 // trySolo runs only the predicted attempt under SoloBudget. ok=false means
 // the budget expired and the caller should fall back to the full race;
 // parent-context errors are returned with ok=true (no point falling back).

@@ -127,17 +127,23 @@ func (m *Matcher) plan(q *graph.Graph) []seqEntry {
 	return seq
 }
 
-// Match implements match.Matcher.
+// Match implements match.Matcher by collecting the stream into a slice.
 func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match.Embedding, error) {
+	return match.CollectMatch(ctx, m, q, limit)
+}
+
+// MatchStream implements match.StreamMatcher: embeddings are emitted into
+// sink as the search discovers them.
+func (m *Matcher) MatchStream(ctx context.Context, q *graph.Graph, limit int, sink match.Sink) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	col := match.NewCollector(limit)
+	col := match.NewStreamCollector(limit, sink)
 	if q.N() == 0 {
-		return col.Finish(col.Found(match.Embedding{}))
+		return col.FinishStream(col.Found(match.Embedding{}))
 	}
 	if q.N() > m.g.N() || q.M() > m.g.M() {
-		return nil, nil
+		return nil
 	}
 	seq := m.plan(q)
 	s := &searcher{
@@ -152,7 +158,7 @@ func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match
 	for i := range s.emb {
 		s.emb[i] = -1
 	}
-	return col.Finish(s.step(0))
+	return col.FinishStream(s.step(0))
 }
 
 type searcher struct {

@@ -97,22 +97,28 @@ func sigContains(gSig, qSig []map[graph.Label]int32) bool {
 	return true
 }
 
-// Match implements match.Matcher.
+// Match implements match.Matcher by collecting the stream into a slice.
 func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match.Embedding, error) {
+	return match.CollectMatch(ctx, m, q, limit)
+}
+
+// MatchStream implements match.StreamMatcher: embeddings are emitted into
+// sink as the search discovers them.
+func (m *Matcher) MatchStream(ctx context.Context, q *graph.Graph, limit int, sink match.Sink) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	col := match.NewCollector(limit)
+	col := match.NewStreamCollector(limit, sink)
 	if q.N() == 0 {
-		return col.Finish(col.Found(match.Embedding{}))
+		return col.FinishStream(col.Found(match.Embedding{}))
 	}
 	if q.N() > m.g.N() || q.M() > m.g.M() {
-		return nil, nil
+		return nil
 	}
 	budget := match.NewBudget(ctx)
 	cand, err := m.candidates(q, budget)
 	if err != nil || cand == nil {
-		return nil, err
+		return err
 	}
 	paths := decompose(q, DefaultMaxPathLen)
 	orderPaths(paths, cand)
@@ -129,7 +135,7 @@ func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match
 	for i := range s.emb {
 		s.emb[i] = -1
 	}
-	return col.Finish(s.matchPath(0, 0))
+	return col.FinishStream(s.matchPath(0, 0))
 }
 
 // candidates computes per-query-vertex candidate sets by label, degree and

@@ -35,17 +35,23 @@ func (m *Matcher) Name() string { return "VF2" }
 // Graph returns the stored graph this matcher verifies against.
 func (m *Matcher) Graph() *graph.Graph { return m.g }
 
-// Match implements match.Matcher.
+// Match implements match.Matcher by collecting the stream into a slice.
 func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match.Embedding, error) {
+	return match.CollectMatch(ctx, m, q, limit)
+}
+
+// MatchStream implements match.StreamMatcher: embeddings are emitted into
+// sink as the search discovers them.
+func (m *Matcher) MatchStream(ctx context.Context, q *graph.Graph, limit int, sink match.Sink) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	col := match.NewCollector(limit)
+	col := match.NewStreamCollector(limit, sink)
 	if q.N() == 0 {
-		return col.Finish(col.Found(match.Embedding{}))
+		return col.FinishStream(col.Found(match.Embedding{}))
 	}
 	if q.N() > m.g.N() || q.M() > m.g.M() {
-		return nil, nil
+		return nil
 	}
 	order, anchor := visitPlan(q)
 	s := &state{
@@ -65,7 +71,7 @@ func (m *Matcher) Match(ctx context.Context, q *graph.Graph, limit int) ([]match
 	for i := range s.coreG {
 		s.coreG[i] = -1
 	}
-	return col.Finish(s.search(0))
+	return col.FinishStream(s.search(0))
 }
 
 // Contains reports whether q is subgraph-isomorphic to the stored graph

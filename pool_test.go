@@ -1,0 +1,72 @@
+package psi
+
+// White-box regression tests for the sized-pool cache behind
+// FTVAnswerWithOptions. Before the LRU fix, a full cache made every call
+// with an unseen MaxWorkers build and tear down a throwaway pool.
+
+import "testing"
+
+// resetSizedPools empties the cache so tests are independent of ordering.
+func resetSizedPools() {
+	sizedPoolsMu.Lock()
+	defer sizedPoolsMu.Unlock()
+	for w, p := range sizedPools {
+		p.Close()
+		delete(sizedPools, w)
+	}
+	sizedPoolLRU = nil
+}
+
+func TestSizedPoolNeverDegradesToThrowaway(t *testing.T) {
+	resetSizedPools()
+	defer resetSizedPools()
+	// Far more distinct sizes than the cache holds: every request must
+	// still be served from the cache (by evicting), never with nil.
+	for workers := 2; workers < 2+3*maxCachedPoolSizes; workers++ {
+		if p := sizedPool(workers); p == nil {
+			t.Fatalf("sizedPool(%d) = nil: cache degraded to throwaway pools", workers)
+		}
+		sizedPoolsMu.Lock()
+		n, lru := len(sizedPools), len(sizedPoolLRU)
+		sizedPoolsMu.Unlock()
+		if n > maxCachedPoolSizes {
+			t.Fatalf("cache grew to %d entries, bound is %d", n, maxCachedPoolSizes)
+		}
+		if n != lru {
+			t.Fatalf("map has %d entries but LRU order has %d", n, lru)
+		}
+	}
+}
+
+func TestSizedPoolReusesCachedPools(t *testing.T) {
+	resetSizedPools()
+	defer resetSizedPools()
+	first := sizedPool(3)
+	for i := 0; i < 10; i++ {
+		if p := sizedPool(3); p != first {
+			t.Fatal("repeated requests for one size must return the same pool")
+		}
+	}
+}
+
+func TestSizedPoolEvictsLeastRecentlyUsed(t *testing.T) {
+	resetSizedPools()
+	defer resetSizedPools()
+	// Fill the cache with sizes 2..17, then touch size 2 so size 3 is the
+	// least recently used.
+	for workers := 2; workers < 2+maxCachedPoolSizes; workers++ {
+		sizedPool(workers)
+	}
+	kept := sizedPool(2)
+	sizedPool(100) // overflow: must evict size 3, not size 2
+	sizedPoolsMu.Lock()
+	_, evicted := sizedPools[3]
+	survivor := sizedPools[2]
+	sizedPoolsMu.Unlock()
+	if evicted {
+		t.Error("least-recently-used size 3 should have been evicted")
+	}
+	if survivor != kept {
+		t.Error("recently touched size 2 must survive the eviction")
+	}
+}

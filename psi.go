@@ -250,29 +250,50 @@ type FTVAnswerOptions struct {
 
 // sizedPools caches process-wide pools for explicit MaxWorkers values, so
 // per-query calls do not pay pool construction and teardown. The cache is
-// bounded: a server deriving MaxWorkers from load cannot accrete unbounded
-// idle workers — sizes beyond the bound fall back to a per-call pool.
+// bounded with least-recently-used eviction: a server deriving MaxWorkers
+// from load cannot accrete unbounded idle workers, and an unseen size
+// always gets a cached pool by displacing the size touched longest ago —
+// never a throwaway pool built and torn down per call.
 var (
 	sizedPoolsMu sync.Mutex
 	sizedPools   = map[int]*exec.Pool{}
+	sizedPoolLRU []int // sizes, least-recently-used first
 )
 
 const maxCachedPoolSizes = 16
 
-// sizedPool returns a cached pool for the given worker count, or nil when
-// the cache is full and the size unseen (caller then uses a throwaway pool).
+// sizedPool returns the cached pool for the given worker count, creating it
+// (and evicting the least-recently-used size when the cache is full) on
+// first sight. Evicted pools are closed; in-flight queries on them degrade
+// gracefully to transient goroutines rather than failing.
 func sizedPool(workers int) *exec.Pool {
 	sizedPoolsMu.Lock()
 	defer sizedPoolsMu.Unlock()
 	if p, ok := sizedPools[workers]; ok {
+		touchSizedPool(workers)
 		return p
 	}
 	if len(sizedPools) >= maxCachedPoolSizes {
-		return nil
+		oldest := sizedPoolLRU[0]
+		sizedPoolLRU = sizedPoolLRU[1:]
+		sizedPools[oldest].Close()
+		delete(sizedPools, oldest)
 	}
 	p := exec.New(workers)
 	sizedPools[workers] = p
+	sizedPoolLRU = append(sizedPoolLRU, workers)
 	return p
+}
+
+// touchSizedPool moves workers to the most-recently-used end of the LRU
+// order. Caller holds sizedPoolsMu.
+func touchSizedPool(workers int) {
+	for i, w := range sizedPoolLRU {
+		if w == workers {
+			sizedPoolLRU = append(append(sizedPoolLRU[:i:i], sizedPoolLRU[i+1:]...), workers)
+			return
+		}
+	}
 }
 
 // FTVAnswerWithOptions runs the filter-then-verify pipeline with explicit
@@ -284,12 +305,7 @@ func FTVAnswerWithOptions(ctx context.Context, x FTVIndex, q *Graph, opts FTVAns
 	if opts.MaxWorkers <= 0 {
 		return ftv.ParallelAnswer(ctx, x, q, nil)
 	}
-	p := sizedPool(opts.MaxWorkers)
-	if p == nil {
-		p = exec.New(opts.MaxWorkers)
-		defer p.Close()
-	}
-	return ftv.ParallelAnswer(ctx, x, q, p)
+	return ftv.ParallelAnswer(ctx, x, q, sizedPool(opts.MaxWorkers))
 }
 
 // ComputeStats summarizes one graph.

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# check.sh — the repo's CI gate: formatting, vet, and the full test suite
-# under the race detector. Run from the repository root (or anywhere; the
-# script cds to its own repo). Fails fast with a non-zero exit on the first
+# check.sh — the repo's CI gate: formatting, vet, full compilation
+# (including cmd/ and examples/, which have no tests and would otherwise
+# only break at release time), the full test suite under the race
+# detector, and a one-iteration benchmark smoke run so benchmark-only
+# regressions (compile errors, panics) surface here rather than at
+# measurement time. Run from the repository root (or anywhere; the script
+# cds to its own repo). Fails fast with a non-zero exit on the first
 # broken stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,10 +18,16 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "== go build =="
+go build ./...
+
 echo "== go vet =="
 go vet ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== bench smoke (1 iteration) =="
+go test -run='^$' -bench=. -benchtime=1x .
 
 echo "All checks passed."
