@@ -97,7 +97,7 @@ func BenchmarkGrapesIndexBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		psi.NewGrapes(ds, 4)
+		psi.NewGrapes(ds, 4).Close()
 	}
 }
 
@@ -107,7 +107,7 @@ func BenchmarkGGSXIndexBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		psi.NewGGSX(ds)
+		psi.NewGGSX(ds).Close()
 	}
 }
 

@@ -1,7 +1,8 @@
 // Command psibench regenerates the paper's tables and figures on the
-// simulated datasets.
+// simulated datasets, and benchmarks the serving-shaped psi.Engine facade —
+// including the filtering-index race — on generated workloads.
 //
-// Usage:
+// Experiment mode (default) replays the paper's artifacts:
 //
 //	psibench [-scale tiny|small|medium|paper] [-exp fig10,table3]
 //	         [-cap 300ms] [-seed 1] [-queries 20] [-list]
@@ -10,15 +11,30 @@
 // -seed and -queries flags override the scale preset. Experiment IDs match
 // the paper's artifact numbers (fig1..fig15, table1..table10); see
 // DESIGN.md for the index.
+//
+// Engine mode (-engine) drives containment queries through psi.Engine the
+// way a server would — plan, execute, per-query kill cap — over a generated
+// PPI-like dataset, with the filtering-index portfolio selected by -index:
+//
+//	psibench -engine [-index ftv|grapes|ggsx|race] [-scale tiny] [-seed 1]
+//	         [-queries 20] [-cap 300ms] [-json]
+//
+// -index race (the default) builds every registered index and races them
+// per query: the first index to emit a verified candidate wins and the
+// losers are cancelled. The summary reports per-index build statistics and
+// race win counts.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	psi "github.com/psi-graph/psi"
 	"github.com/psi-graph/psi/internal/gen"
 	"github.com/psi-graph/psi/internal/harness"
 )
@@ -31,6 +47,9 @@ func main() {
 		seedFlag    = flag.Int64("seed", 0, "override the experiment seed")
 		queriesFlag = flag.Int("queries", 0, "override queries per size")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
+		engineFlag  = flag.Bool("engine", false, "benchmark the psi.Engine facade instead of replaying experiments")
+		indexFlag   = flag.String("index", "race", "engine mode: filtering indexes, ftv|grapes|ggsx, a comma list, or race (all)")
+		jsonFlag    = flag.Bool("json", false, "engine mode: emit one JSON object per query")
 	)
 	flag.Parse()
 
@@ -45,6 +64,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *engineFlag {
+		if err := runEngineBench(scale, *indexFlag, *seedFlag, *queriesFlag, *capFlag, *jsonFlag); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	cfg := harness.DefaultConfig(scale)
 	if *capFlag > 0 {
 		cfg.Cap = *capFlag
@@ -68,6 +95,94 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runEngineBench drives dataset containment queries through the psi.Engine
+// facade — the post-PR-2 serving path — rather than the direct index APIs.
+func runEngineBench(scale psi.Scale, indexSpec string, seed int64, queries int, cap time.Duration, asJSON bool) error {
+	if seed == 0 {
+		seed = 1
+	}
+	if queries <= 0 {
+		queries = 20
+	}
+	kinds, err := psi.ParseIndexSpec(indexSpec)
+	if err != nil {
+		return err
+	}
+	ds := psi.GeneratePPI(scale, seed)
+	buildStart := time.Now()
+	eng, err := psi.NewDatasetEngine(ds, psi.EngineOptions{
+		Indexes: kinds,
+		Timeout: cap,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	buildTime := time.Since(buildStart)
+
+	// With -json, stdout carries exclusively one JSON object per query;
+	// everything informational goes to stderr so the stream stays pipeable.
+	info := os.Stdout
+	if asJSON {
+		info = os.Stderr
+	}
+	fmt.Fprintf(info, "engine: %d graphs, policy=%s, indexes built in %v\n",
+		len(ds), eng.IndexPolicy(), buildTime.Round(time.Millisecond))
+	for _, st := range eng.IndexStats() {
+		fmt.Fprintf(info, "  %-10s kind=%-7s features=%-7d nodes=%-7d build=%v\n",
+			st.Name, st.Kind, st.Features, st.Nodes, st.BuildTime.Round(time.Microsecond))
+	}
+
+	type record struct {
+		Query    int           `json:"query"`
+		Edges    int           `json:"edges"`
+		Answers  int           `json:"answers"`
+		Winner   string        `json:"winner"`
+		Elapsed  time.Duration `json:"elapsed_ns"`
+		Killed   bool          `json:"killed"`
+		Attempts []psi.IndexAttempt
+	}
+	wins := map[string]int{}
+	var total time.Duration
+	enc := json.NewEncoder(os.Stdout)
+	for i := 0; i < queries; i++ {
+		src := ds[i%len(ds)]
+		q := psi.ExtractQuery(src, 4+(i%2)*4, seed+int64(i))
+		res, err := eng.Query(context.Background(), q, 0)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		total += res.Elapsed
+		winner := res.Winner
+		for _, a := range res.IndexAttempts {
+			if a.Winner {
+				winner = a.Name
+			}
+		}
+		wins[winner]++
+		rec := record{
+			Query: i, Edges: q.M(), Answers: len(res.GraphIDs),
+			Winner: winner, Elapsed: res.Elapsed, Killed: res.Killed,
+			Attempts: res.IndexAttempts,
+		}
+		if asJSON {
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("q%-3d edges=%-2d answers=%-3d winner=%-12s %8v killed=%v\n",
+				rec.Query, rec.Edges, rec.Answers, rec.Winner,
+				rec.Elapsed.Round(time.Microsecond), rec.Killed)
+		}
+	}
+	fmt.Fprintf(info, "race wins by index:")
+	for name, n := range wins {
+		fmt.Fprintf(info, " %s=%d", name, n)
+	}
+	fmt.Fprintf(info, "\ntotal query time: %v (%d queries)\n", total.Round(time.Millisecond), queries)
+	return nil
 }
 
 func fatal(err error) {

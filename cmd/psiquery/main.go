@@ -8,11 +8,13 @@
 //	psiquery -data yeast.txt -queries q.txt -algos GQL,SPA -rewritings Or,DND
 //	psiquery -data yeast.txt -queries q.txt -mode predict -json
 //
-// FTV (multi-graph dataset): filter-then-verify decision with Grapes or
-// GGSX, racing rewritings in the verification stage behind the result
-// cache.
+// FTV (multi-graph dataset): filter-then-verify decision with the flat
+// path index, Grapes or GGSX — or a race of several — with rewritings
+// raced in the verification stage (behind the result cache when a single
+// index is fixed).
 //
 //	psiquery -data ppi.txt -queries q.txt -index grapes -workers 4 -rewritings ILF,IND,DND
+//	psiquery -data ppi.txt -queries q.txt -index race            # race ftv|grapes|ggsx
 package main
 
 import (
@@ -37,7 +39,7 @@ func main() {
 		rewrFlag    = flag.String("rewritings", "Orig", "comma-separated rewritings: Orig,ILF,IND,DND,ILF+IND,ILF+DND")
 		modeFlag    = flag.String("mode", "race", "planning policy: race|predict|single")
 		jsonFlag    = flag.Bool("json", false, "emit one JSON object per query instead of text")
-		indexFlag   = flag.String("index", "", "FTV index for multi-graph datasets: grapes|ggsx")
+		indexFlag   = flag.String("index", "", "FTV indexes for multi-graph datasets: ftv|grapes|ggsx, a comma list, or race (all)")
 		workersFlag = flag.Int("workers", 1, "Grapes worker count")
 		limitFlag   = flag.Int("limit", 1000, "max embeddings per query (NFV)")
 		capFlag     = flag.Duration("timeout", 10*time.Minute, "per-query kill cap")
@@ -66,11 +68,15 @@ func main() {
 	if len(ds) == 0 {
 		fatal(fmt.Errorf("dataset %s is empty", *dataFlag))
 	}
+	indexKinds, err := psi.ParseIndexSpec(*indexFlag)
+	if err != nil {
+		fatal(err)
+	}
 	opts := psi.EngineOptions{
 		Rewritings:   kinds,
 		Mode:         mode,
 		Timeout:      *capFlag,
-		Index:        *indexFlag,
+		Indexes:      indexKinds,
 		IndexWorkers: *workersFlag,
 	}
 	if len(ds) > 1 || *indexFlag != "" {

@@ -94,6 +94,54 @@
 //	eng.QueryStream(ctx, q, 1000,                      // streaming form
 //		psi.SinkFunc(func(e psi.Embedding) bool { return consume(e) }))
 //
+// # Filtering-index architecture
+//
+// Dataset (multi-graph) queries go through a filtering index, and the
+// module ships three alternatives behind one contract (FilterIndex): the
+// flat path-based FTV baseline (a hash map from packed label sequences to
+// per-graph counts), Grapes (a path trie with location information and
+// component-restricted verification) and GGSX (a path suffix trie verified
+// against whole graphs). The contract is the narrow FTVIndex core —
+// Name/Dataset/Filter/Verify — plus FilterStream, which emits surviving
+// candidates incrementally in ascending order, and Stats, which reports
+// build provenance. All three share one presence/frequency pruning
+// implementation and one build path: feature extraction fans out across the
+// execution pool and the per-graph results fold into each structure in
+// graph-ID order, so a build is byte-identical at any worker count,
+// and cancelling the build's context aborts it even mid-graph (dense
+// graphs hold billions of bounded simple paths). Construct through
+// NewPathIndex, NewGrapes, NewGGSX, or BuildIndex("ftv"|"grapes"|"ggsx").
+//
+// Candidate emission is streaming-first: the decision pipeline overlaps
+// filtering with verification, starting a candidate's (rewriting-raced)
+// verification the moment the filter surfaces it, while containing graph
+// IDs still reach the caller incrementally in exact ascending order.
+//
+// On top of the contract sits index racing — the paper's parallel use of
+// alternative algorithms applied to the filtering stage itself. A dataset
+// Engine built with an index portfolio (EngineOptions.Indexes) under the
+// race policy runs every index's full streaming pipeline concurrently per
+// query; the first index to emit a verified candidate adopts the output
+// stream and the losers are cancelled through their contexts (an index that
+// completes an empty answer first wins an empty race — every index is
+// exact, so all pipelines agree). Each index attempt races on a dedicated
+// verification pool: a straggling index must not be able to occupy the
+// shared workers and starve the eventual winner. Per-index attempt metrics
+// (winner, cancelled, emissions, elapsed) surface in
+// QueryResult.IndexAttempts, alongside the matcher-level Winner:
+//
+//	eng, _ := psi.NewDatasetEngine(ds, psi.EngineOptions{
+//		Indexes: []string{"ftv", "grapes", "ggsx"}, // IndexRace by default
+//	})
+//	defer eng.Close()
+//	res, _ := eng.Query(ctx, q, 0)
+//	for _, a := range res.IndexAttempts { report(a.Name, a.Winner, a.Elapsed) }
+//
+// With a single index (the default) the engine keeps the fixed policy:
+// filter → raced verification behind the iGQ-style result cache, unchanged.
+// Plan.IndexPolicy records which policy a planned query will run.
+//
 // See examples/ for runnable programs and cmd/psibench for the experiment
-// harness that regenerates every table and figure of the paper.
+// harness that regenerates every table and figure of the paper (psibench
+// -engine benchmarks the Engine facade, including the index race).
 package psi

@@ -12,14 +12,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"github.com/psi-graph/psi/internal/core"
 	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/ftv"
-	"github.com/psi-graph/psi/internal/ggsx"
-	"github.com/psi-graph/psi/internal/grapes"
+	"github.com/psi-graph/psi/internal/index"
 	"github.com/psi-graph/psi/internal/match"
 	"github.com/psi-graph/psi/internal/metrics"
 	"github.com/psi-graph/psi/internal/predict"
@@ -99,15 +99,63 @@ type EngineOptions struct {
 	// falls back to a full race; 0 means 50ms.
 	SoloBudget time.Duration
 
-	// Index selects the FTV index for dataset engines: "grapes" (default)
-	// or "ggsx".
+	// Index selects the FTV index for dataset engines: "grapes"
+	// (default), "ggsx" or "ftv" (the flat path index). Ignored when
+	// Indexes is set.
 	Index string
-	// IndexWorkers is the Grapes index-construction worker count
-	// (the paper's Grapes/1 vs Grapes/4); 0 means 1.
+	// Indexes is the filtering-index portfolio of dataset engines: each
+	// entry names a registered index kind ("ftv", "grapes", "ggsx").
+	// With two or more entries the engine builds every index and, under
+	// the race policy, runs them against each other per query — the
+	// paper's parallel use of alternative algorithms applied to the
+	// filtering stage. Empty falls back to Index.
+	Indexes []string
+	// IndexPolicy says how a dataset engine uses its portfolio:
+	// IndexRace (default with ≥ 2 indexes) races every index per query;
+	// IndexFixed (default with 1) always consults the first.
+	IndexPolicy string
+	// IndexWorkers is the Grapes verification worker count (the paper's
+	// Grapes/1 vs Grapes/4); 0 means 1. Other kinds ignore it.
 	IndexWorkers int
 	// CacheSize bounds the iGQ-style result cache of dataset engines:
-	// 0 means 128 entries, negative disables the cache.
+	// 0 means 128 entries, negative disables the cache. The cache layers
+	// over a single index's pipeline, so it only applies under the fixed
+	// policy; a racing engine answers every query live.
 	CacheSize int
+}
+
+// Index policies for EngineOptions.IndexPolicy and Plan.IndexPolicy.
+const (
+	// IndexRace races every configured filtering index per query; the
+	// first index to emit a verified candidate wins and the rest are
+	// cancelled.
+	IndexRace = "race"
+	// IndexFixed always consults the portfolio's first index.
+	IndexFixed = "fixed"
+)
+
+// ParseIndexSpec converts an -index flag value into an index-kind list:
+// a registered kind name ("ftv", "grapes", "ggsx"), a comma-separated
+// combination, or "race" for the full portfolio of all registered kinds.
+func ParseIndexSpec(s string) ([]string, error) {
+	switch s {
+	case "":
+		return nil, nil
+	case IndexRace:
+		return index.Kinds(), nil
+	}
+	var kinds []string
+	for _, k := range strings.Split(s, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("psi: empty index spec %q", s)
+	}
+	return kinds, nil
 }
 
 // Engine is a long-lived query-serving object. Construct with NewEngine
@@ -132,7 +180,9 @@ type Engine struct {
 
 	// FTV state.
 	ds       []*Graph
-	index    FTVIndex
+	indexes  []FilterIndex
+	ixPolicy string
+	ixRacer  *core.IndexRacer
 	ftvRacer *FTVRacer
 	cache    *CachedFTV
 }
@@ -169,9 +219,11 @@ func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
 }
 
 // NewDatasetEngine builds an FTV engine serving containment queries against
-// a multi-graph dataset: filter through the configured index, verify
-// candidates across the pool with raced rewritings, all behind the
-// iGQ-style result cache.
+// a multi-graph dataset. With a single configured index the query pipeline
+// is filter → raced-rewriting verification behind the iGQ-style result
+// cache, exactly as before; with an index portfolio (Indexes) under the
+// race policy, every query races the full streaming pipeline of each index
+// and adopts the first to emit a verified candidate, cancelling the rest.
 func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
 	if len(ds) == 0 {
 		return nil, errors.New("psi: NewDatasetEngine requires a non-empty dataset")
@@ -181,20 +233,48 @@ func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
 		return nil, err
 	}
 	e.ds = ds
-	switch opts.Index {
-	case "", "grapes":
-		w := opts.IndexWorkers
-		if w <= 0 {
-			w = 1
+	kinds := opts.Indexes
+	if len(kinds) == 0 {
+		k := opts.Index
+		if k == "" {
+			k = "grapes"
 		}
-		e.index = grapes.Build(ds, grapes.Options{Workers: w})
-	case "ggsx":
-		e.index = ggsx.Build(ds, ggsx.Options{})
+		kinds = []string{k}
+	}
+	// Validate the policy before paying for the builds: extracting the
+	// features of a large dataset several times over only to report a
+	// misspelt option would be hostile.
+	switch opts.IndexPolicy {
+	case "":
+		if len(kinds) >= 2 {
+			e.ixPolicy = IndexRace
+		} else {
+			e.ixPolicy = IndexFixed
+		}
+	case IndexRace, IndexFixed:
+		e.ixPolicy = opts.IndexPolicy
 	default:
 		e.Close()
-		return nil, fmt.Errorf("psi: unknown FTV index %q (want grapes or ggsx)", opts.Index)
+		return nil, fmt.Errorf("psi: unknown index policy %q (want %q or %q)", opts.IndexPolicy, IndexRace, IndexFixed)
 	}
-	e.ftvRacer = core.NewFTVRacer(e.index, engineRewritings(opts))
+	for _, kind := range kinds {
+		x, berr := index.Build(context.Background(), kind, ds, index.Options{
+			Workers: opts.IndexWorkers,
+			Pool:    e.pool,
+		})
+		if berr != nil {
+			e.Close()
+			return nil, fmt.Errorf("psi: building FTV index: %w", berr)
+		}
+		e.indexes = append(e.indexes, x)
+	}
+	if e.ixPolicy == IndexRace && len(e.indexes) >= 2 {
+		e.ixRacer = core.NewIndexRacer(e.indexes, engineRewritings(opts))
+		e.ixRacer.Pool = e.pool
+		return e, nil
+	}
+	e.ixPolicy = IndexFixed
+	e.ftvRacer = core.NewFTVRacer(e.indexes[0], engineRewritings(opts))
 	e.ftvRacer.Pool = e.pool
 	if opts.CacheSize >= 0 {
 		// The cache layers on the *raced* verifier, so the residual
@@ -257,11 +337,18 @@ func (r racedIndex) Verify(ctx context.Context, q *Graph, graphID int) (bool, er
 	return res.Contained, err
 }
 
-// Close releases the Engine's dedicated pool, if it owns one. Queries in
-// flight degrade gracefully (the pool falls back to transient goroutines).
+// Close releases the Engine's dedicated pool, if it owns one, and any
+// per-index resources (e.g. Grapes' dedicated verification pool). Queries
+// in flight degrade gracefully (pools fall back to transient goroutines).
 func (e *Engine) Close() {
 	if e.owned && e.pool != nil {
 		e.pool.Close()
+	}
+	if e.ixRacer != nil {
+		e.ixRacer.Close()
+	}
+	for _, x := range e.indexes {
+		x.Close()
 	}
 }
 
@@ -286,6 +373,21 @@ func (e *Engine) CacheStats() (stats ftv.CacheStats, ok bool) {
 		return ftv.CacheStats{}, false
 	}
 	return e.cache.Stats(), true
+}
+
+// IndexPolicy reports how a dataset engine uses its filtering indexes
+// (IndexRace or IndexFixed); empty for NFV engines.
+func (e *Engine) IndexPolicy() string { return e.ixPolicy }
+
+// IndexStats reports the build provenance and shape of every filtering
+// index in the engine's portfolio, in portfolio order (dataset engines
+// only; nil for NFV engines).
+func (e *Engine) IndexStats() []IndexStats {
+	out := make([]IndexStats, 0, len(e.indexes))
+	for _, x := range e.indexes {
+		out = append(out, x.Stats())
+	}
+	return out
 }
 
 // PlanKind says how Execute will run a planned query.
@@ -317,6 +419,12 @@ type Plan struct {
 	// Predicted is the portfolio index of the model's pick for
 	// PlanPredicted plans, -1 otherwise.
 	Predicted int
+	// IndexPolicy records how a PlanFTV plan runs the engine's filtering
+	// indexes — IndexRace or IndexFixed; empty for NFV plans.
+	IndexPolicy string
+	// Indexes names the filtering indexes the plan will consult, in
+	// portfolio order (PlanFTV plans only).
+	Indexes []string
 	// Deadline is the per-query cap Execute will enforce (0: none).
 	Deadline time.Duration
 
@@ -334,6 +442,10 @@ func (e *Engine) Plan(q *Graph) (*Plan, error) {
 	p := &Plan{Query: q, Predicted: -1, Deadline: e.budget.Cap, engine: e}
 	if e.g == nil {
 		p.Kind = PlanFTV
+		p.IndexPolicy = e.ixPolicy
+		for _, x := range e.indexes {
+			p.Indexes = append(p.Indexes, x.Name())
+		}
 		return p, nil
 	}
 	switch e.mode {
@@ -374,6 +486,11 @@ type QueryResult struct {
 	// Winner labels the attempt (or index configuration) that produced
 	// the answer, e.g. "GQL-DND".
 	Winner string
+	// IndexAttempts reports each filtering index's run for FTV plans
+	// executed under the race policy: the adopted winner, the cancelled
+	// losers and their timings — the index-level counterpart of the
+	// matcher attempts behind Winner.
+	IndexAttempts []IndexAttempt
 	// Kind echoes the executed plan's strategy; FellBack marks a
 	// predicted plan that overran its solo budget and re-ran as a race.
 	Kind     PlanKind
@@ -551,9 +668,21 @@ func (e *Engine) runPredicted(ctx context.Context, p *Plan, limit int, sink Sink
 	return e.runRace(ctx, p.Query, e.attempts, limit, sink, res, p.features)
 }
 
-// runFTV answers a containment query through the cache (when enabled) or
-// the raced verifier.
+// runFTV answers a containment query. Under the race policy every
+// configured index runs its streaming filter→verify pipeline concurrently
+// and the first verified emission wins; under the fixed policy the primary
+// index answers through the cache (when enabled) or the raced verifier.
 func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
+	if e.ixRacer != nil {
+		r, err := e.ixRacer.Answer(ctx, p.Query)
+		if err != nil {
+			return err
+		}
+		res.GraphIDs = r.GraphIDs
+		res.Winner = r.Winner
+		res.IndexAttempts = r.Attempts
+		return nil
+	}
 	var (
 		ids []int
 		err error
@@ -581,6 +710,10 @@ func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
 // returns). The stream bypasses the result cache (a partial answer must
 // not be remembered as complete).
 func (e *Engine) AnswerStream(ctx context.Context, q *Graph, emit func(graphID int) bool) error {
+	if e.ixRacer != nil {
+		_, err := e.ixRacer.AnswerStream(ctx, q, emit)
+		return err
+	}
 	if e.ftvRacer == nil {
 		return errors.New("psi: AnswerStream requires a dataset engine")
 	}

@@ -6,6 +6,7 @@ package psi_test
 
 import (
 	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -432,5 +433,211 @@ func TestEngineOwnedPoolAndAccessors(t *testing.T) {
 	eng.Close() // must not panic; queries after Close degrade gracefully
 	if _, err := eng.Query(context.Background(), q, 5); err != nil {
 		t.Errorf("query after Close should degrade gracefully, got %v", err)
+	}
+}
+
+// raceFixtureDataset is a small deterministic dataset for index-race tests:
+// cheap enough to index three ways under the race detector, varied enough
+// that filters disagree between queries.
+func raceFixtureDataset() []*psi.Graph {
+	return []*psi.Graph{
+		psi.MustNewGraph("d0", []psi.Label{0, 1, 2, 0, 1, 2}, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}),
+		psi.MustNewGraph("d1", []psi.Label{0, 1, 2, 1, 0}, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 2}}),
+		psi.MustNewGraph("d2", []psi.Label{2, 2, 1, 1, 0}, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}),
+		psi.MustNewGraph("d3", []psi.Label{1, 0, 0, 0, 1, 2}, [][2]int{{0, 1}, {0, 2}, {0, 3}, {3, 4}, {4, 5}}),
+		psi.MustNewGraph("d4", []psi.Label{0, 0, 0, 0}, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+	}
+}
+
+func raceFixtureQueries() []*psi.Graph {
+	return []*psi.Graph{
+		psi.MustNewGraph("q0", []psi.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}}),
+		psi.MustNewGraph("q1", []psi.Label{0, 1}, [][2]int{{0, 1}}),
+		psi.MustNewGraph("q2", []psi.Label{1, 0, 0}, [][2]int{{0, 1}, {0, 2}}),
+		psi.MustNewGraph("q3", []psi.Label{0, 0, 0}, [][2]int{{0, 1}, {1, 2}}),
+		psi.MustNewGraph("q4", []psi.Label{9, 9}, [][2]int{{0, 1}}),
+		psi.MustNewGraph("q5", []psi.Label{0}, nil),
+	}
+}
+
+// TestDatasetEngineIndexRaceMatchesFixed is the engine-level acceptance
+// test for index racing: a portfolio engine racing all three filtering
+// indexes must plan the race policy, report per-index attempts with exactly
+// one winner, and answer byte-identically to a fixed single-index engine.
+func TestDatasetEngineIndexRaceMatchesFixed(t *testing.T) {
+	ds := raceFixtureDataset()
+	race, err := psi.NewDatasetEngine(ds, psi.EngineOptions{
+		Indexes: []string{"ftv", "grapes", "ggsx"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer race.Close()
+	fixed, err := psi.NewDatasetEngine(ds, psi.EngineOptions{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	if race.IndexPolicy() != psi.IndexRace {
+		t.Fatalf("IndexPolicy = %q, want race", race.IndexPolicy())
+	}
+	if st := race.IndexStats(); len(st) != 3 {
+		t.Fatalf("IndexStats = %+v, want 3 indexes", st)
+	}
+	for qi, q := range raceFixtureQueries() {
+		p, err := race.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Kind != psi.PlanFTV || p.IndexPolicy != psi.IndexRace || len(p.Indexes) != 3 {
+			t.Fatalf("q%d: plan = kind %v policy %q indexes %v", qi, p.Kind, p.IndexPolicy, p.Indexes)
+		}
+		got, err := race.Execute(context.Background(), p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fixed.Query(context.Background(), q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.GraphIDs) != len(want.GraphIDs) {
+			t.Fatalf("q%d: race answered %v, fixed %v", qi, got.GraphIDs, want.GraphIDs)
+		}
+		for i := range want.GraphIDs {
+			if got.GraphIDs[i] != want.GraphIDs[i] {
+				t.Fatalf("q%d: race answered %v, fixed %v", qi, got.GraphIDs, want.GraphIDs)
+			}
+		}
+		if len(got.IndexAttempts) != 3 {
+			t.Fatalf("q%d: IndexAttempts = %+v, want 3", qi, got.IndexAttempts)
+		}
+		winners := 0
+		for _, a := range got.IndexAttempts {
+			if a.Winner {
+				winners++
+				if a.Name != got.Winner {
+					t.Errorf("q%d: winner attempt %q but result winner %q", qi, a.Name, got.Winner)
+				}
+			}
+		}
+		if winners != 1 {
+			t.Errorf("q%d: %d winning attempts, want exactly 1 (%+v)", qi, winners, got.IndexAttempts)
+		}
+	}
+}
+
+// TestDatasetEngineIndexRaceAnswerStream checks the streaming path of a
+// racing dataset engine agrees with the collecting path.
+func TestDatasetEngineIndexRaceAnswerStream(t *testing.T) {
+	ds := raceFixtureDataset()
+	eng, err := psi.NewDatasetEngine(ds, psi.EngineOptions{Indexes: []string{"grapes", "ggsx"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for qi, q := range raceFixtureQueries() {
+		res, err := eng.Query(context.Background(), q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed []int
+		if err := eng.AnswerStream(context.Background(), q, func(id int) bool {
+			streamed = append(streamed, id)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) != len(res.GraphIDs) {
+			t.Fatalf("q%d: streamed %v, Query answered %v", qi, streamed, res.GraphIDs)
+		}
+		for i := range streamed {
+			if streamed[i] != res.GraphIDs[i] {
+				t.Fatalf("q%d: streamed %v, Query answered %v", qi, streamed, res.GraphIDs)
+			}
+		}
+	}
+}
+
+// TestDatasetEngineIndexRaceReleasesGoroutines is the engine-level
+// goroutine-leak regression for index racing: repeated raced queries whose
+// losing indexes are cancelled must not accrete goroutines.
+func TestDatasetEngineIndexRaceReleasesGoroutines(t *testing.T) {
+	ds := raceFixtureDataset()
+	eng, err := psi.NewDatasetEngine(ds, psi.EngineOptions{Indexes: []string{"ftv", "grapes", "ggsx"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	queries := raceFixtureQueries()
+	// Warm up so pools and per-attempt infrastructure exist first.
+	for _, q := range queries {
+		if _, err := eng.Query(context.Background(), q, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 30; i++ {
+		for _, q := range queries {
+			if _, err := eng.Query(context.Background(), q, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+4 {
+		t.Errorf("goroutines grew from %d to %d over raced queries: leak", before, after)
+	}
+}
+
+// TestDatasetEngineIndexPolicyOptions covers policy selection and
+// validation.
+func TestDatasetEngineIndexPolicyOptions(t *testing.T) {
+	ds := raceFixtureDataset()
+	// A single index degrades to the fixed policy even when race is asked.
+	single, err := psi.NewDatasetEngine(ds, psi.EngineOptions{Index: "ftv", IndexPolicy: psi.IndexRace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if single.IndexPolicy() != psi.IndexFixed {
+		t.Errorf("single-index policy = %q, want fixed", single.IndexPolicy())
+	}
+	// Fixed policy over a portfolio consults only the first index but
+	// still answers correctly (and keeps the cache).
+	fixed, err := psi.NewDatasetEngine(ds, psi.EngineOptions{
+		Indexes: []string{"ggsx", "grapes"}, IndexPolicy: psi.IndexFixed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	if fixed.IndexPolicy() != psi.IndexFixed {
+		t.Errorf("fixed policy = %q", fixed.IndexPolicy())
+	}
+	if _, ok := fixed.CacheStats(); !ok {
+		t.Error("fixed-policy engine should keep the result cache")
+	}
+	race, err := psi.NewDatasetEngine(ds, psi.EngineOptions{Indexes: []string{"ftv", "ggsx"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer race.Close()
+	if _, ok := race.CacheStats(); ok {
+		t.Error("racing engine must not report cache stats (cache is per-index)")
+	}
+	if _, err := psi.NewDatasetEngine(ds, psi.EngineOptions{IndexPolicy: "tournament"}); err == nil {
+		t.Error("unknown index policy must fail")
+	}
+	if _, err := psi.NewDatasetEngine(ds, psi.EngineOptions{Indexes: []string{"ftv", "btree"}}); err == nil {
+		t.Error("unknown index kind in portfolio must fail")
+	}
+	if kinds, err := psi.ParseIndexSpec("race"); err != nil || len(kinds) < 3 {
+		t.Errorf("ParseIndexSpec(race) = %v, %v", kinds, err)
+	}
+	if kinds, err := psi.ParseIndexSpec("grapes,ggsx"); err != nil || len(kinds) != 2 {
+		t.Errorf("ParseIndexSpec(grapes,ggsx) = %v, %v", kinds, err)
 	}
 }

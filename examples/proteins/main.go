@@ -30,6 +30,7 @@ func main() {
 	fmt.Println("building Grapes index (4 workers, paths <= 4 edges)...")
 	start := time.Now()
 	index := psi.NewGrapes(ds, 4)
+	defer index.Close()
 	fmt.Printf("  built in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	// Extract protein "motifs" as queries; each is guaranteed to occur in

@@ -1,0 +1,85 @@
+package psi_test
+
+// Benchmarks for the unified filtering-index layer: per-kind build cost
+// (pooled extraction), and the index race against a fixed single index on
+// dataset containment queries. BENCH_index.json records the baseline
+// together with filter precision and race win counts.
+
+import (
+	"context"
+	"testing"
+
+	psi "github.com/psi-graph/psi"
+)
+
+func indexBenchFixture(b *testing.B) ([]*psi.Graph, []*psi.Graph) {
+	b.Helper()
+	ds := psi.GeneratePPI(psi.Tiny, 1)
+	var queries []*psi.Graph
+	for i, g := range ds {
+		queries = append(queries,
+			psi.ExtractQuery(g, 4, int64(100+i)),
+			psi.ExtractQuery(g, 8, int64(200+i)))
+	}
+	return ds, queries
+}
+
+func benchIndexBuild(b *testing.B, kind string) {
+	ds, _ := indexBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, err := psi.BuildIndex(context.Background(), kind, ds, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x.Close()
+	}
+}
+
+func BenchmarkIndexBuildFTV(b *testing.B)    { benchIndexBuild(b, "ftv") }
+func BenchmarkIndexBuildGrapes(b *testing.B) { benchIndexBuild(b, "grapes") }
+func BenchmarkIndexBuildGGSX(b *testing.B)   { benchIndexBuild(b, "ggsx") }
+
+// BenchmarkIndexRaceAnswer runs the decision workload through a dataset
+// engine racing all three filtering indexes per query.
+func BenchmarkIndexRaceAnswer(b *testing.B) {
+	ds, queries := indexBenchFixture(b)
+	eng, err := psi.NewDatasetEngine(ds, psi.EngineOptions{
+		Indexes: []string{"ftv", "grapes", "ggsx"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, err := eng.Query(context.Background(), q, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexFixedAnswer is the single-index baseline the race is
+// compared against (Grapes, no result cache so every query runs live).
+func BenchmarkIndexFixedAnswer(b *testing.B) {
+	ds, queries := indexBenchFixture(b)
+	eng, err := psi.NewDatasetEngine(ds, psi.EngineOptions{
+		Index:     "grapes",
+		CacheSize: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, err := eng.Query(context.Background(), q, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

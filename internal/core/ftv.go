@@ -9,6 +9,7 @@ import (
 	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/ftv"
 	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/index"
 	"github.com/psi-graph/psi/internal/rewrite"
 )
 
@@ -127,23 +128,40 @@ func (f *FTVRacer) Verify(ctx context.Context, q *graph.Graph, graphID int) (FTV
 // of the configured rewritings. The answer is assembled positionally, so
 // the returned IDs are identical to sequential verification: ascending.
 func (f *FTVRacer) Answer(ctx context.Context, q *graph.Graph) ([]int, error) {
-	return ftv.VerifyCandidates(ctx, f.Pool, f.Index.Filter(q), func(gctx context.Context, id int) (bool, error) {
-		res, err := f.Verify(gctx, q, id)
-		return res.Contained, err
+	var out []int
+	err := f.AnswerStream(ctx, q, func(id int) bool {
+		out = append(out, id)
+		return true
 	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // AnswerStream is the streaming form of Answer: each containing graph ID is
 // handed to emit as soon as its raced verification — and that of every
 // candidate before it — has settled, so the caller observes answers
-// incrementally yet in the same ascending order Answer returns. emit
-// returning false cancels the outstanding verifications and ends the stream
-// with a nil error. emit is called from verification goroutines under an
-// internal lock and must not block — in particular, it must not wait on
+// incrementally yet in the same ascending order Answer returns. When the
+// wrapped index implements the unified streaming-filter contract
+// (index.FilterStreamer — every index built by this module does), filtering
+// and verification overlap: candidates begin their rewriting race the moment
+// the filter surfaces them, before the remaining dataset has been scanned.
+// emit returning false cancels the outstanding verifications and ends the
+// stream with a nil error. emit is called from verification goroutines under
+// an internal lock and must not block — in particular, it must not wait on
 // work that only proceeds after AnswerStream returns.
 func (f *FTVRacer) AnswerStream(ctx context.Context, q *graph.Graph, emit func(graphID int) bool) error {
-	return ftv.StreamCandidates(ctx, f.Pool, f.Index.Filter(q), emit, func(gctx context.Context, id int) (bool, error) {
+	check := func(gctx context.Context, id int) (bool, error) {
 		res, err := f.Verify(gctx, q, id)
 		return res.Contained, err
-	})
+	}
+	if fs, ok := f.Index.(index.FilterStreamer); ok {
+		return index.StreamVerified(ctx, f.Pool,
+			func(fctx context.Context, femit func(int) bool) error {
+				return fs.FilterStream(fctx, q, femit)
+			},
+			emit, check)
+	}
+	return ftv.StreamCandidates(ctx, f.Pool, f.Index.Filter(q), emit, check)
 }

@@ -1,0 +1,335 @@
+package core
+
+// IndexRacer extends the Ψ-framework's race-everything architecture to the
+// filtering stage itself. Where FTVRacer races query rewritings *inside* one
+// index's verification, IndexRacer races entire filtering indexes — the
+// paper's "alternative algorithms" (FTV, Grapes, GGSX) — against each other
+// per query: every configured index runs its full streaming filter→verify
+// pipeline concurrently, the first index to emit a verified candidate adopts
+// the output stream, and the losers are cancelled through their contexts.
+// Because every index is exact (no false negatives, verified positives), all
+// pipelines compute the same ascending answer, so adopting the first emitter
+// is sound — just as adopting the first matcher to emit is sound in
+// Racer.RaceStream.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/psi-graph/psi/internal/exec"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/index"
+	"github.com/psi-graph/psi/internal/rewrite"
+)
+
+// IndexRacer races alternative filtering indexes per query. Construct with
+// NewIndexRacer; safe for concurrent queries. Close releases the
+// per-attempt verification pools.
+type IndexRacer struct {
+	// Indexes are the raced alternatives, in portfolio order.
+	Indexes []index.Index
+	// Rewritings are raced per candidate inside every index attempt,
+	// exactly as FTVRacer does for a single index.
+	Rewritings []rewrite.Kind
+	// Pool sizes the per-attempt verification pools (nil: CPU count) and
+	// carries the degenerate single-index pipeline. Attempts do NOT share
+	// one pool: each index races on a dedicated pool created at first
+	// use, because a hung or straggling index could otherwise occupy
+	// every shared worker and starve the eventual winner's verifications
+	// — the race must guarantee each contender independent progress, just
+	// as matcher races guarantee every attempt its own concurrency.
+	Pool *exec.Pool
+
+	racers  []*FTVRacer
+	poolsMu sync.Mutex
+	pools   []*exec.Pool
+}
+
+// NewIndexRacer builds a racer over the given index portfolio, with
+// dataset-wide label frequencies computed once and shared by every
+// per-candidate rewriting race.
+func NewIndexRacer(xs []index.Index, kinds []rewrite.Kind) *IndexRacer {
+	r := &IndexRacer{Indexes: xs, Rewritings: kinds}
+	var freqs rewrite.Frequencies
+	if len(xs) > 0 {
+		freqs = rewrite.FrequenciesOfDataset(xs[0].Dataset())
+	}
+	for _, x := range xs {
+		r.racers = append(r.racers, &FTVRacer{Index: x, Rewritings: kinds, Frequencies: freqs})
+	}
+	return r
+}
+
+// attemptPools lazily creates one verification pool per index attempt,
+// each sized like the configured shared pool (or the CPU count).
+func (r *IndexRacer) attemptPools() []*exec.Pool {
+	r.poolsMu.Lock()
+	defer r.poolsMu.Unlock()
+	if r.pools == nil {
+		w := 0
+		if r.Pool != nil {
+			w = r.Pool.Workers()
+		}
+		r.pools = make([]*exec.Pool, len(r.racers))
+		for i := range r.pools {
+			r.pools[i] = exec.New(w)
+		}
+	}
+	return r.pools
+}
+
+// Close releases the per-attempt verification pools, if any were created —
+// a racer that never served a race has nothing to release and Close spawns
+// nothing. Races in flight degrade gracefully (pool tasks fall back to
+// transient goroutines).
+func (r *IndexRacer) Close() {
+	r.poolsMu.Lock()
+	defer r.poolsMu.Unlock()
+	for _, p := range r.pools {
+		p.Close()
+	}
+}
+
+// Name identifies the configuration, e.g. "Ψ(FTV|Grapes/1|GGSX: Or/DND)".
+func (r *IndexRacer) Name() string {
+	s := "Ψ("
+	for i, x := range r.Indexes {
+		if i > 0 {
+			s += "|"
+		}
+		s += x.Name()
+	}
+	s += ":"
+	for i, k := range r.Rewritings {
+		if i > 0 {
+			s += "/"
+		} else {
+			s += " "
+		}
+		s += k.String()
+	}
+	return s + ")"
+}
+
+// IndexAttempt reports one index's run inside a race.
+type IndexAttempt struct {
+	// Name is the index's instance name, e.g. "Grapes/1".
+	Name string
+	// Winner marks the attempt whose output stream was adopted.
+	Winner bool
+	// Cancelled marks a loser that was cut off after the winner emitted.
+	Cancelled bool
+	// Emitted is how many verified graph IDs the attempt surfaced (only
+	// the winner emits into the caller's stream).
+	Emitted int
+	// Elapsed is the attempt's wall-clock time from race start until it
+	// finished or was cancelled.
+	Elapsed time.Duration
+	// Err records a loser's non-cancellation failure, empty otherwise.
+	Err string
+}
+
+// IndexRaceResult is the outcome of one index race.
+type IndexRaceResult struct {
+	// GraphIDs is the winning pipeline's answer, ascending (filled by
+	// Answer; AnswerStream hands IDs to the caller's emit instead).
+	GraphIDs []int
+	// Winner is the adopted index's name.
+	Winner string
+	// WinnerIndex is the adopted index's position in the portfolio.
+	WinnerIndex int
+	// Attempts reports every index's run, in portfolio order.
+	Attempts []IndexAttempt
+	// Elapsed is the wall-clock time of the whole race.
+	Elapsed time.Duration
+}
+
+// Answer races the portfolio and collects the winning pipeline's ascending
+// graph IDs.
+func (r *IndexRacer) Answer(ctx context.Context, q *graph.Graph) (IndexRaceResult, error) {
+	var out []int
+	res, err := r.AnswerStream(ctx, q, func(id int) bool {
+		out = append(out, id)
+		return true
+	})
+	if err != nil {
+		return IndexRaceResult{}, err
+	}
+	res.GraphIDs = out
+	return res, nil
+}
+
+// AnswerStream races every index's streaming filter→verify pipeline and
+// streams the adopted winner's verified graph IDs into emit, in ascending
+// order. The first index to emit a verified candidate claims the output
+// stream; the other attempts are cancelled immediately through their
+// contexts and drain before AnswerStream returns, so a race leaves no
+// goroutines behind (the per-attempt metrics in the result record the
+// cancellations). An attempt that completes with an empty answer before
+// anyone emits wins the race — all indexes are exact, so the answer is
+// empty. emit must not block; returning false stops the winner and ends the
+// race successfully with the IDs seen so far.
+func (r *IndexRacer) AnswerStream(ctx context.Context, q *graph.Graph, emit func(graphID int) bool) (IndexRaceResult, error) {
+	n := len(r.racers)
+	if n == 0 {
+		return IndexRaceResult{}, errors.New("psi: IndexRacer needs at least one index")
+	}
+	start := time.Now()
+	if n == 1 {
+		// A portfolio of one is a plain streaming answer, no adoption.
+		fr := &FTVRacer{
+			Index:       r.racers[0].Index,
+			Rewritings:  r.racers[0].Rewritings,
+			Frequencies: r.racers[0].Frequencies,
+			Pool:        r.Pool,
+		}
+		emitted := 0
+		err := fr.AnswerStream(ctx, q, func(id int) bool {
+			emitted++
+			return emit(id)
+		})
+		if err != nil {
+			return IndexRaceResult{}, err
+		}
+		elapsed := time.Since(start)
+		return IndexRaceResult{
+			Winner:      r.Indexes[0].Name(),
+			WinnerIndex: 0,
+			Elapsed:     elapsed,
+			Attempts: []IndexAttempt{{
+				Name:    r.Indexes[0].Name(),
+				Winner:  true,
+				Emitted: emitted,
+				Elapsed: elapsed,
+			}},
+		}, nil
+	}
+	pools := r.attemptPools()
+	raceCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	ctxs := make([]context.Context, n)
+	cancels := make([]context.CancelFunc, n)
+	for i := range ctxs {
+		ctxs[i], cancels[i] = context.WithCancel(raceCtx)
+	}
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	var adopted atomic.Int32
+	adopted.Store(-1)
+	type outcome struct {
+		idx     int
+		emitted int
+		lost    bool // stopped because another attempt owns the stream
+		err     error
+		elapsed time.Duration
+	}
+	ch := make(chan outcome, n)
+	for i := range r.racers {
+		i := i
+		// Dedicated goroutine per attempt: attempts block waiting on pool
+		// Groups, so running them *on* pool workers could starve a small
+		// pool into deadlock. Race attempts need guaranteed concurrency.
+		go func() {
+			o := outcome{idx: i}
+			defer func() {
+				if rec := recover(); rec != nil {
+					o.err = fmt.Errorf("psi: index attempt panic: %v", rec)
+				}
+				o.elapsed = time.Since(start)
+				ch <- o
+			}()
+			fr := &FTVRacer{
+				Index:       r.racers[i].Index,
+				Rewritings:  r.racers[i].Rewritings,
+				Frequencies: r.racers[i].Frequencies,
+				Pool:        pools[i],
+			}
+			err := fr.AnswerStream(ctxs[i], q, func(id int) bool {
+				if adopted.Load() != int32(i) {
+					if !adopted.CompareAndSwap(-1, int32(i)) {
+						// Raced the winner to its first emission and lost.
+						o.lost = true
+						return false
+					}
+					// First verified candidate of the whole race: this
+					// pipeline now owns the output; cancel the rest.
+					for j, c := range cancels {
+						if j != i {
+							c()
+						}
+					}
+				}
+				o.emitted++
+				return emit(id)
+			})
+			if !o.lost {
+				o.err = err
+			}
+		}()
+	}
+	res := IndexRaceResult{WinnerIndex: -1, Attempts: make([]IndexAttempt, n)}
+	var errs []error
+	failed := false
+	var raceErr error
+	for done := 0; done < n; done++ {
+		o := <-ch
+		att := &res.Attempts[o.idx]
+		att.Name = r.Indexes[o.idx].Name()
+		att.Emitted = o.emitted
+		att.Elapsed = o.elapsed
+		switch {
+		case o.lost:
+			att.Cancelled = true
+		case o.err != nil:
+			if int(adopted.Load()) == o.idx {
+				// The adopted pipeline died mid-stream: partial output may
+				// have reached the caller, so the race as a whole fails
+				// rather than silently switching winners.
+				failed = true
+				raceErr = fmt.Errorf("%s: %w", att.Name, o.err)
+			} else if ctxs[o.idx].Err() != nil && ctx.Err() == nil {
+				// Cut off by the adoption (not by the caller): a loser.
+				att.Cancelled = true
+			} else {
+				att.Err = o.err.Error()
+				errs = append(errs, fmt.Errorf("%s: %w", att.Name, o.err))
+			}
+		case int(adopted.Load()) == o.idx:
+			// The adopted winner ran to completion (or the caller's emit
+			// stopped it): the race is decided. Keep draining the losers so
+			// the race leaves nothing running.
+			att.Winner = true
+			res.Winner = att.Name
+			res.WinnerIndex = o.idx
+			cancelAll()
+		case adopted.CompareAndSwap(-1, int32(o.idx)):
+			// Completed with an empty answer before anyone emitted: the
+			// answer is empty (every index is exact), so this attempt wins.
+			att.Winner = true
+			res.Winner = att.Name
+			res.WinnerIndex = o.idx
+			cancelAll()
+		default:
+			// Completed empty after another attempt was adopted.
+			att.Cancelled = ctxs[o.idx].Err() != nil && ctx.Err() == nil
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if failed {
+		return IndexRaceResult{}, raceErr
+	}
+	if res.WinnerIndex < 0 {
+		if err := ctx.Err(); err != nil {
+			return IndexRaceResult{}, err
+		}
+		return IndexRaceResult{}, errors.Join(errs...)
+	}
+	return res, nil
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/psi-graph/psi/internal/exec"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/index"
+	"github.com/psi-graph/psi/internal/rewrite"
+)
+
+// stubIndex is a controllable index.Index for race tests: a fixed candidate
+// list, a pluggable verifier, and counters recording whether the index
+// observed cancellation mid-verification.
+type stubIndex struct {
+	name      string
+	ds        []*graph.Graph
+	ids       []int
+	verify    func(ctx context.Context, graphID int) (bool, error)
+	cancelled atomic.Int64 // verifications that ended on ctx cancellation
+	stats     index.Stats
+}
+
+func newStubDataset(n int) []*graph.Graph {
+	ds := make([]*graph.Graph, n)
+	for i := range ds {
+		ds[i] = graph.MustNew("g", []graph.Label{0, 1}, [][2]int{{0, 1}})
+	}
+	return ds
+}
+
+func (x *stubIndex) Name() string              { return x.name }
+func (x *stubIndex) Dataset() []*graph.Graph   { return x.ds }
+func (x *stubIndex) Stats() index.Stats        { return x.stats }
+func (x *stubIndex) Close()                    {}
+func (x *stubIndex) Filter(*graph.Graph) []int { return append([]int(nil), x.ids...) }
+
+func (x *stubIndex) FilterStream(ctx context.Context, q *graph.Graph, emit func(int) bool) error {
+	for _, id := range x.ids {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !emit(id) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (x *stubIndex) Verify(ctx context.Context, q *graph.Graph, graphID int) (bool, error) {
+	ok, err := x.verify(ctx, graphID)
+	if err != nil && ctx.Err() != nil {
+		x.cancelled.Add(1)
+	}
+	return ok, err
+}
+
+// blockingVerify blocks until the context dies, recording the cancellation.
+func blockingVerify(ctx context.Context, graphID int) (bool, error) {
+	<-ctx.Done()
+	return false, ctx.Err()
+}
+
+func instantVerify(ctx context.Context, graphID int) (bool, error) { return true, nil }
+
+var orig = []rewrite.Kind{rewrite.Orig}
+
+// TestIndexRaceAdoptsFirstEmitterAndCancelsLoser is the core acceptance
+// scenario: two indexes race, the fast one emits a verified candidate and
+// wins, and the slow loser is provably cancelled — its verification
+// observed ctx.Done, its attempt is marked Cancelled, and no goroutines
+// outlive the race.
+func TestIndexRaceAdoptsFirstEmitterAndCancelsLoser(t *testing.T) {
+	ds := newStubDataset(3)
+	// The fast index's first verification waits until the slow index has a
+	// verification in flight, so the loser is provably mid-work when the
+	// winner's emission cancels it (otherwise scheduling could finish the
+	// whole race before the loser started anything).
+	slowStarted := make(chan struct{}, 16)
+	slow := &stubIndex{name: "slow", ds: ds, ids: []int{0, 1, 2}}
+	slow.verify = func(ctx context.Context, graphID int) (bool, error) {
+		select {
+		case slowStarted <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return false, ctx.Err()
+	}
+	fast := &stubIndex{name: "fast", ds: ds, ids: []int{0, 1, 2}}
+	fast.verify = func(ctx context.Context, graphID int) (bool, error) {
+		if graphID == 0 {
+			select {
+			case <-slowStarted:
+			case <-ctx.Done():
+				return false, ctx.Err()
+			}
+		}
+		return true, nil
+	}
+	pool := exec.New(4)
+	defer pool.Close()
+	r := NewIndexRacer([]index.Index{slow, fast}, orig)
+	r.Pool = pool
+	defer r.Close()
+
+	// Warm up so the racer's per-attempt pools exist before the baseline,
+	// then drain leftover start tokens so the measured race re-observes
+	// the slow index actually starting.
+	if _, err := r.Answer(context.Background(), ds[0]); err != nil {
+		t.Fatal(err)
+	}
+	for drained := false; !drained; {
+		select {
+		case <-slowStarted:
+		default:
+			drained = true
+		}
+	}
+	slow.cancelled.Store(0)
+	before := runtime.NumGoroutine()
+	res, err := r.Answer(context.Background(), ds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "fast" || res.WinnerIndex != 1 {
+		t.Fatalf("winner = %q (%d), want fast", res.Winner, res.WinnerIndex)
+	}
+	if len(res.GraphIDs) != 3 {
+		t.Errorf("GraphIDs = %v, want [0 1 2]", res.GraphIDs)
+	}
+	if len(res.Attempts) != 2 {
+		t.Fatalf("Attempts = %+v, want 2", res.Attempts)
+	}
+	if !res.Attempts[1].Winner || res.Attempts[1].Emitted != 3 {
+		t.Errorf("fast attempt = %+v, want winner with 3 emissions", res.Attempts[1])
+	}
+	if !res.Attempts[0].Cancelled || res.Attempts[0].Winner {
+		t.Errorf("slow attempt = %+v, want cancelled loser", res.Attempts[0])
+	}
+	if slow.cancelled.Load() == 0 {
+		t.Error("losing index never observed cancellation — losers are not being cancelled")
+	}
+	// The race drains its losers before returning: no goroutine growth.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d across an index race: leak", before, after)
+	}
+}
+
+// TestIndexRaceRepeatedNoLeak hammers the race to catch slow accretion.
+func TestIndexRaceRepeatedNoLeak(t *testing.T) {
+	ds := newStubDataset(2)
+	fast := &stubIndex{name: "fast", ds: ds, ids: []int{0, 1}, verify: instantVerify}
+	slow := &stubIndex{name: "slow", ds: ds, ids: []int{0, 1}, verify: blockingVerify}
+	pool := exec.New(2)
+	defer pool.Close()
+	r := NewIndexRacer([]index.Index{fast, slow}, orig)
+	r.Pool = pool
+	defer r.Close()
+	// Warm-up so transient infrastructure exists before the baseline.
+	if _, err := r.Answer(context.Background(), ds[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		res, err := r.Answer(context.Background(), ds[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Winner != "fast" {
+			t.Fatalf("iteration %d: winner = %q", i, res.Winner)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+4 {
+		t.Errorf("goroutines grew from %d to %d over 200 index races", before, after)
+	}
+}
+
+// TestIndexRaceEmptyAnswerWins: an index that completes with no candidates
+// before anyone emits decides the race — the answer is empty.
+func TestIndexRaceEmptyAnswerWins(t *testing.T) {
+	ds := newStubDataset(2)
+	empty := &stubIndex{name: "empty", ds: ds, ids: nil, verify: instantVerify}
+	slow := &stubIndex{name: "slow", ds: ds, ids: []int{0, 1}, verify: blockingVerify}
+	pool := exec.New(2)
+	defer pool.Close()
+	r := NewIndexRacer([]index.Index{slow, empty}, orig)
+	defer r.Close()
+	r.Pool = pool
+	res, err := r.Answer(context.Background(), ds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "empty" {
+		t.Fatalf("winner = %q, want empty", res.Winner)
+	}
+	if len(res.GraphIDs) != 0 {
+		t.Errorf("GraphIDs = %v, want none", res.GraphIDs)
+	}
+}
+
+// TestIndexRaceSingleIndexDegenerates: a one-index portfolio streams
+// directly, still reporting a winner attempt.
+func TestIndexRaceSingleIndexDegenerates(t *testing.T) {
+	ds := newStubDataset(3)
+	only := &stubIndex{name: "only", ds: ds, ids: []int{0, 2}, verify: instantVerify}
+	r := NewIndexRacer([]index.Index{only}, orig)
+	defer r.Close()
+	res, err := r.Answer(context.Background(), ds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "only" || len(res.GraphIDs) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(res.Attempts) != 1 || !res.Attempts[0].Winner || res.Attempts[0].Emitted != 2 {
+		t.Fatalf("Attempts = %+v", res.Attempts)
+	}
+}
+
+// TestIndexRaceAllFail joins every attempt's error when no one produces an
+// answer.
+func TestIndexRaceAllFail(t *testing.T) {
+	ds := newStubDataset(1)
+	boom := errors.New("boom")
+	failing := func(ctx context.Context, graphID int) (bool, error) { return false, boom }
+	a := &stubIndex{name: "a", ds: ds, ids: []int{0}, verify: failing}
+	b := &stubIndex{name: "b", ds: ds, ids: []int{0}, verify: failing}
+	r := NewIndexRacer([]index.Index{a, b}, orig)
+	defer r.Close()
+	_, err := r.Answer(context.Background(), ds[0])
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestIndexRaceCallerCancel: cancelling the caller's context fails the race
+// with the context error instead of fabricating an answer.
+func TestIndexRaceCallerCancel(t *testing.T) {
+	ds := newStubDataset(2)
+	s1 := &stubIndex{name: "s1", ds: ds, ids: []int{0, 1}, verify: blockingVerify}
+	s2 := &stubIndex{name: "s2", ds: ds, ids: []int{0, 1}, verify: blockingVerify}
+	r := NewIndexRacer([]index.Index{s1, s2}, orig)
+	defer r.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := r.Answer(ctx, ds[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestIndexRaceEmitStop: the caller's emit returning false stops the
+// adopted winner and ends the race cleanly.
+func TestIndexRaceEmitStop(t *testing.T) {
+	ds := newStubDataset(3)
+	fast := &stubIndex{name: "fast", ds: ds, ids: []int{0, 1, 2}, verify: instantVerify}
+	slow := &stubIndex{name: "slow", ds: ds, ids: []int{0, 1, 2}, verify: blockingVerify}
+	r := NewIndexRacer([]index.Index{fast, slow}, orig)
+	defer r.Close()
+	var got []int
+	res, err := r.AnswerStream(context.Background(), ds[0], func(id int) bool {
+		got = append(got, id)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("emitted %v, want [0]", got)
+	}
+	if res.Winner != "fast" {
+		t.Errorf("winner = %q", res.Winner)
+	}
+}

@@ -252,3 +252,96 @@ func TestParallelAnswerContextCancelled(t *testing.T) {
 		t.Fatal("expected context error")
 	}
 }
+
+// TestExtractFeaturesContextCancel: a cancelled context aborts extraction
+// mid-graph and reports the cancellation.
+func TestExtractFeaturesContextCancel(t *testing.T) {
+	// A clique of one label has a huge bounded-path count, so the
+	// periodic context check fires long before enumeration finishes.
+	b := graph.NewBuilder("clique")
+	const n = 24
+	for v := 0; v < n; v++ {
+		b.AddVertex(0)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if err := b.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.MustBuild()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExtractFeaturesContext(ctx, g, 6, false); err == nil {
+		t.Fatal("cancelled extraction must fail")
+	}
+	// The context-free wrapper still works and agrees with itself.
+	feats := ExtractFeatures(g, 2, false)
+	if len(feats) == 0 {
+		t.Fatal("extraction produced no features")
+	}
+}
+
+// TestExtractDatasetFeaturesDeterministicAcrossPools: pooled extraction is
+// positional, so any worker count yields identical per-graph feature maps.
+func TestExtractDatasetFeaturesDeterministicAcrossPools(t *testing.T) {
+	var ds []*graph.Graph
+	for i := 0; i < 6; i++ {
+		ds = append(ds, graph.MustNew(fmt.Sprintf("g%d", i),
+			[]graph.Label{graph.Label(i % 3), 1, 2, 0},
+			[][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}))
+	}
+	p1 := exec.New(1)
+	defer p1.Close()
+	p4 := exec.New(4)
+	defer p4.Close()
+	f1, err := ExtractDatasetFeatures(context.Background(), p1, ds, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, err := ExtractDatasetFeatures(context.Background(), p4, ds, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1) != len(ds) || len(f4) != len(ds) {
+		t.Fatalf("positional results missing: %d, %d", len(f1), len(f4))
+	}
+	for i := range ds {
+		if len(f1[i]) != len(f4[i]) {
+			t.Fatalf("graph %d: %d features vs %d", i, len(f1[i]), len(f4[i]))
+		}
+		for key, a := range f1[i] {
+			bf := f4[i][key]
+			if bf == nil || bf.Count != a.Count || len(bf.Locations) != len(a.Locations) {
+				t.Fatalf("graph %d key %v: %+v vs %+v", i, key.Labels(), a, bf)
+			}
+			for j := range a.Locations {
+				if a.Locations[j] != bf.Locations[j] {
+					t.Fatalf("graph %d key %v: locations differ", i, key.Labels())
+				}
+			}
+		}
+	}
+	// And both agree with the sequential per-graph extraction.
+	for i, g := range ds {
+		seq := ExtractFeatures(g, 4, true)
+		if len(seq) != len(f1[i]) {
+			t.Fatalf("graph %d: pooled %d features vs sequential %d", i, len(f1[i]), len(seq))
+		}
+	}
+}
+
+// TestExtractDatasetFeaturesCancel: cancelling mid-fan-out surfaces the
+// context error.
+func TestExtractDatasetFeaturesCancel(t *testing.T) {
+	var ds []*graph.Graph
+	for i := 0; i < 4; i++ {
+		ds = append(ds, graph.MustNew("g", []graph.Label{0, 1}, [][2]int{{0, 1}}))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExtractDatasetFeatures(ctx, nil, ds, 4, false); err == nil {
+		t.Fatal("cancelled dataset extraction must fail")
+	}
+}

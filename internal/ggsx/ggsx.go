@@ -10,22 +10,50 @@
 // path suffix with correct occurrence counts; filtering power (presence +
 // frequency pruning over all ≤maxLen paths) is identical, the difference is
 // constant-factor storage layout.
+//
+// The index implements the unified filtering-index contract of
+// internal/index: construction fans feature extraction out on the shared
+// execution pool (replacing the previous sequential insert loop) and folds
+// the per-graph results into the suffix trie in graph-ID order, so the built
+// index is identical for every worker count; filtering goes through the
+// shared presence/frequency pruning, and FilterStream emits candidates
+// incrementally.
 package ggsx
 
 import (
 	"context"
-	"sort"
+	"fmt"
+	"time"
 
+	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/ftv"
 	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/index"
 	"github.com/psi-graph/psi/internal/vf2"
 )
+
+// Kind is the registered index kind.
+const Kind = "ggsx"
+
+func init() {
+	index.Register(Kind, func(ctx context.Context, ds []*graph.Graph, opts index.Options) (index.Index, error) {
+		x, err := BuildContext(ctx, ds, Options{MaxPathLen: opts.MaxPathLen, Pool: opts.Pool})
+		if err != nil {
+			return nil, err
+		}
+		return x, nil
+	})
+}
 
 // Options configures index construction.
 type Options struct {
 	// MaxPathLen is the maximum indexed path length in edges; defaults
 	// to ftv.DefaultMaxPathLen (4), the paper's setting.
 	MaxPathLen int
+	// Pool is the execution pool the build's feature extraction fans out
+	// on; nil selects the shared default pool. The built index is
+	// identical for every pool size.
+	Pool *exec.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -53,20 +81,50 @@ type Index struct {
 	opts     Options
 	root     *suffixNode
 	verifier []*vf2.Matcher // per-graph VF2 matcher with prebuilt label index
+	stats    index.Stats
 }
 
-// Build constructs the suffix trie over all path features of the dataset.
+// Build constructs the suffix trie over all path features of the dataset;
+// see BuildContext for the cancellable form.
 func Build(ds []*graph.Graph, opts Options) *Index {
-	opts = opts.withDefaults()
-	x := &Index{ds: ds, opts: opts, root: newSuffixNode(), verifier: make([]*vf2.Matcher, len(ds))}
-	for id, g := range ds {
-		feats := ftv.ExtractFeatures(g, opts.MaxPathLen, false)
-		for _, f := range feats {
-			x.insert(id, f.Labels, f.Count)
-		}
-		x.verifier[id] = vf2.New(g)
+	x, err := BuildContext(context.Background(), ds, opts)
+	if err != nil {
+		// Unreachable: the background context never cancels and extraction
+		// has no other failure mode.
+		panic(err)
 	}
 	return x
+}
+
+// BuildContext constructs the suffix trie, extracting features from dataset
+// graphs across the pool's workers and folding them into the trie in
+// graph-ID order — deterministic output for every worker count. Cancelling
+// ctx aborts the build and returns the context's error.
+func BuildContext(ctx context.Context, ds []*graph.Graph, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	feats, err := ftv.ExtractDatasetFeatures(ctx, opts.Pool, ds, opts.MaxPathLen, false)
+	if err != nil {
+		return nil, err
+	}
+	x := &Index{ds: ds, opts: opts, root: newSuffixNode(), verifier: make([]*vf2.Matcher, len(ds))}
+	for id, fs := range feats {
+		for _, f := range fs {
+			x.insert(id, f.Labels, f.Count)
+		}
+		x.verifier[id] = vf2.New(ds[id])
+	}
+	x.stats = index.Stats{
+		Name:         x.Name(),
+		Kind:         Kind,
+		Graphs:       len(ds),
+		MaxPathLen:   opts.MaxPathLen,
+		Features:     x.featureCount(),
+		Nodes:        x.nodeCount(),
+		BuildTime:    time.Since(start),
+		BuildWorkers: index.PoolWorkers(opts.Pool),
+	}
+	return x, nil
 }
 
 func (x *Index) insert(graphID int, labels []graph.Label, count int32) {
@@ -94,6 +152,41 @@ func (x *Index) Dataset() []*graph.Graph { return x.ds }
 // MaxPathLen returns the indexed path length.
 func (x *Index) MaxPathLen() int { return x.opts.MaxPathLen }
 
+// Stats implements index.Index.
+func (x *Index) Stats() index.Stats { return x.stats }
+
+// Close implements index.Index; GGSX owns no resources.
+func (x *Index) Close() {}
+
+// nodeCount reports the number of suffix-trie nodes (diagnostics).
+func (x *Index) nodeCount() int {
+	var walk func(n *suffixNode) int
+	walk = func(n *suffixNode) int {
+		c := 1
+		for _, ch := range n.children {
+			c += walk(ch)
+		}
+		return c
+	}
+	return walk(x.root)
+}
+
+// featureCount reports the number of distinct indexed label sequences.
+func (x *Index) featureCount() int {
+	var walk func(n *suffixNode) int
+	walk = func(n *suffixNode) int {
+		c := 0
+		if len(n.counts) > 0 {
+			c = 1
+		}
+		for _, ch := range n.children {
+			c += walk(ch)
+		}
+		return c
+	}
+	return walk(x.root)
+}
+
 // lookup returns per-graph occurrence counts for a label sequence, nil if
 // the sequence is absent from every graph.
 func (x *Index) lookup(labels []graph.Label) map[int]int32 {
@@ -107,44 +200,32 @@ func (x *Index) lookup(labels []graph.Label) map[int]int32 {
 	return node.counts
 }
 
+// lookupPostings adapts lookup to the shared filter plumbing.
+func (x *Index) lookupPostings(labels []graph.Label) (index.Postings, bool) {
+	counts := x.lookup(labels)
+	if counts == nil {
+		return nil, false
+	}
+	return index.MapPostings(counts), true
+}
+
 // Filter implements ftv.Index using presence and frequency pruning over the
 // query's maximal paths.
 func (x *Index) Filter(q *graph.Graph) []int {
-	feats := ftv.QueryFeatures(q, x.opts.MaxPathLen)
-	if len(feats) == 0 {
-		all := make([]int, len(x.ds))
-		for i := range all {
-			all[i] = i
-		}
-		return all
-	}
-	var surviving map[int]bool
-	for _, f := range feats {
-		counts := x.lookup(f.Labels)
-		if counts == nil {
-			return nil
-		}
-		next := make(map[int]bool)
-		for id, c := range counts {
-			if c >= f.Count && (surviving == nil || surviving[id]) {
-				next[id] = true
-			}
-		}
-		if len(next) == 0 {
-			return nil
-		}
-		surviving = next
-	}
-	out := make([]int, 0, len(surviving))
-	for id := range surviving {
-		out = append(out, id)
-	}
-	sort.Ints(out)
-	return out
+	return index.FilterByFeatures(len(x.ds), ftv.QueryFeatures(q, x.opts.MaxPathLen), x.lookupPostings)
+}
+
+// FilterStream implements index.Index: surviving graph IDs are emitted
+// incrementally in ascending order.
+func (x *Index) FilterStream(ctx context.Context, q *graph.Graph, emit func(graphID int) bool) error {
+	return index.StreamByFeatures(ctx, len(x.ds), ftv.QueryFeatures(q, x.opts.MaxPathLen), x.lookupPostings, emit)
 }
 
 // Verify implements ftv.Index: VF2 against the whole stored graph (GGSX
 // keeps no location information to narrow the search).
 func (x *Index) Verify(ctx context.Context, q *graph.Graph, graphID int) (bool, error) {
+	if graphID < 0 || graphID >= len(x.verifier) {
+		return false, fmt.Errorf("ggsx: graph ID %d out of range [0,%d)", graphID, len(x.verifier))
+	}
 	return x.verifier[graphID].Contains(ctx, q)
 }

@@ -11,27 +11,61 @@
 // dataset graphs) and verification (across extracted components) use a
 // worker pool of configurable size — "Grapes/1" and "Grapes/4" in the
 // paper's figures are instances of this index with 1 and 4 workers.
+//
+// The index implements the unified filtering-index contract of
+// internal/index: construction fans feature extraction out on the shared
+// execution pool (deterministic for every pool size, cancellable through a
+// context), filtering goes through the shared presence/frequency pruning,
+// and FilterStream emits candidates incrementally so verification can begin
+// before filtering finishes.
 package grapes
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
+	"time"
 
+	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/ftv"
 	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/index"
 	"github.com/psi-graph/psi/internal/vf2"
 )
+
+// Kind is the registered index kind.
+const Kind = "grapes"
+
+func init() {
+	index.Register(Kind, func(ctx context.Context, ds []*graph.Graph, opts index.Options) (index.Index, error) {
+		x, err := BuildContext(ctx, ds, Options{
+			MaxPathLen: opts.MaxPathLen,
+			Workers:    opts.Workers,
+			Pool:       opts.Pool,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return x, nil
+	})
+}
 
 // Options configures index construction and verification.
 type Options struct {
 	// MaxPathLen is the maximum path length (in edges) to index;
 	// defaults to ftv.DefaultMaxPathLen (4), the paper's setting.
 	MaxPathLen int
-	// Workers is the degree of parallelism for both index construction
-	// and per-query component verification; defaults to 1 (Grapes/1).
+	// Workers is the degree of parallelism for per-query component
+	// verification; defaults to 1 (Grapes/1). Workers > 1 gives the index
+	// a dedicated verification pool of that size (the paper's Grapes/4),
+	// released by Close.
 	Workers int
+	// Pool is the execution pool the build's feature extraction fans out
+	// on; nil selects the shared default pool. The built index is
+	// identical for every pool size.
+	Pool *exec.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -46,33 +80,62 @@ func (o Options) withDefaults() Options {
 
 // Index is a built Grapes index over a dataset. Safe for concurrent use.
 type Index struct {
-	ds   []*graph.Graph
-	opts Options
-	trie *pathTrie
+	ds    []*graph.Graph
+	opts  Options
+	trie  *pathTrie
+	vpool *exec.Pool // dedicated verification pool when Workers > 1
+	stats index.Stats
 }
 
-// Build constructs the index, extracting features from dataset graphs with
-// opts.Workers parallel workers.
+// Build constructs the index; see BuildContext for the cancellable form.
 func Build(ds []*graph.Graph, opts Options) *Index {
-	opts = opts.withDefaults()
-	x := &Index{ds: ds, opts: opts, trie: newPathTrie()}
-	results := make([]map[ftv.Key]*ftv.PathFeature, len(ds))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for id := range ds {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[id] = ftv.ExtractFeatures(ds[id], opts.MaxPathLen, true)
-		}(id)
-	}
-	wg.Wait()
-	for id, feats := range results {
-		x.trie.insert(id, feats)
+	x, err := BuildContext(context.Background(), ds, opts)
+	if err != nil {
+		// Unreachable: the background context never cancels and extraction
+		// has no other failure mode.
+		panic(err)
 	}
 	return x
+}
+
+// BuildContext constructs the index, extracting features from dataset graphs
+// across the pool's workers. The trie is assembled from the per-graph results
+// in graph-ID order, so the built index is byte-identical regardless of the
+// pool's worker count. Cancelling ctx aborts the build — including mid-graph
+// on dense inputs — and returns the context's error.
+func BuildContext(ctx context.Context, ds []*graph.Graph, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	feats, err := ftv.ExtractDatasetFeatures(ctx, opts.Pool, ds, opts.MaxPathLen, true)
+	if err != nil {
+		return nil, err
+	}
+	x := &Index{ds: ds, opts: opts, trie: newPathTrie()}
+	for id, fs := range feats {
+		x.trie.insert(id, fs)
+	}
+	if opts.Workers > 1 {
+		x.vpool = exec.New(opts.Workers)
+	}
+	x.stats = index.Stats{
+		Name:         x.Name(),
+		Kind:         Kind,
+		Graphs:       len(ds),
+		MaxPathLen:   opts.MaxPathLen,
+		Features:     x.trie.featureCount(),
+		Nodes:        x.trie.nodeCount(),
+		BuildTime:    time.Since(start),
+		BuildWorkers: index.PoolWorkers(opts.Pool),
+	}
+	return x, nil
+}
+
+// Close releases the dedicated verification pool of a Workers>1 index.
+// Queries in flight degrade gracefully to transient goroutines.
+func (x *Index) Close() {
+	if x.vpool != nil {
+		x.vpool.Close()
+	}
 }
 
 // Name implements ftv.Index: "Grapes/<workers>".
@@ -87,41 +150,50 @@ func (x *Index) MaxPathLen() int { return x.opts.MaxPathLen }
 // TrieNodes reports the size of the underlying trie (diagnostics).
 func (x *Index) TrieNodes() int { return x.trie.nodeCount() }
 
+// Stats implements index.Index.
+func (x *Index) Stats() index.Stats { return x.stats }
+
+// lookup adapts the trie's postings to the shared filter plumbing.
+func (x *Index) lookup(labels []graph.Label) (index.Postings, bool) {
+	postings := x.trie.lookup(labels)
+	if postings == nil {
+		return nil, false
+	}
+	return triePostings(postings), true
+}
+
+// triePostings adapts the trie's location-bearing postings map to
+// index.Postings.
+type triePostings map[int]*posting
+
+func (m triePostings) Len() int { return len(m) }
+
+func (m triePostings) Count(graphID int) (int32, bool) {
+	p, ok := m[graphID]
+	if !ok {
+		return 0, false
+	}
+	return p.count, true
+}
+
+func (m triePostings) Range(f func(graphID int, count int32) bool) {
+	for id, p := range m {
+		if !f(id, p.count) {
+			return
+		}
+	}
+}
+
 // Filter implements ftv.Index: a graph survives iff it contains every
 // maximal path of the query at least as often as the query does.
 func (x *Index) Filter(q *graph.Graph) []int {
-	feats := ftv.QueryFeatures(q, x.opts.MaxPathLen)
-	if len(feats) == 0 {
-		// No path features (edgeless query): every graph is a candidate.
-		all := make([]int, len(x.ds))
-		for i := range all {
-			all[i] = i
-		}
-		return all
-	}
-	var surviving map[int]bool
-	for _, f := range feats {
-		postings := x.trie.lookup(f.Labels)
-		if postings == nil {
-			return nil
-		}
-		next := make(map[int]bool)
-		for id, p := range postings {
-			if p.count >= f.Count && (surviving == nil || surviving[id]) {
-				next[id] = true
-			}
-		}
-		if len(next) == 0 {
-			return nil
-		}
-		surviving = next
-	}
-	out := make([]int, 0, len(surviving))
-	for id := range surviving {
-		out = append(out, id)
-	}
-	sort.Ints(out)
-	return out
+	return index.FilterByFeatures(len(x.ds), ftv.QueryFeatures(q, x.opts.MaxPathLen), x.lookup)
+}
+
+// FilterStream implements index.Index: surviving graph IDs are emitted
+// incrementally in ascending order.
+func (x *Index) FilterStream(ctx context.Context, q *graph.Graph, emit func(graphID int) bool) error {
+	return index.StreamByFeatures(ctx, len(x.ds), ftv.QueryFeatures(q, x.opts.MaxPathLen), x.lookup, emit)
 }
 
 // CandidateVertices returns the union of the location sets of the query's
@@ -198,7 +270,7 @@ func (x *Index) Verify(ctx context.Context, q *graph.Graph, graphID int) (bool, 
 	if len(work) == 0 {
 		return false, nil
 	}
-	if x.opts.Workers == 1 || len(work) == 1 {
+	if x.vpool == nil || len(work) == 1 {
 		for _, cg := range work {
 			found, err := containsQ(ctx, q, cg)
 			if err != nil {
@@ -213,74 +285,41 @@ func (x *Index) Verify(ctx context.Context, q *graph.Graph, graphID int) (bool, 
 	return x.verifyParallel(ctx, q, work)
 }
 
-// verifyParallel races VF2 over components with a bounded worker pool; the
-// first success cancels the remaining work.
+// errComponentFound aborts the remaining component checks once any component
+// hosts the query — a sentinel, not a failure.
+var errComponentFound = errors.New("grapes: component match found")
+
+// verifyParallel fans VF2 over components across the index's dedicated
+// verification pool (hard-bounded at opts.Workers in flight); the first
+// success cancels the remaining work. The dedicated pool keeps this nested
+// fan-out off the shared pool, where a racer already running this
+// verification inside a pool task would deadlock a single-worker pool.
 func (x *Index) verifyParallel(ctx context.Context, q *graph.Graph, work []*graph.Graph) (bool, error) {
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	type outcome struct {
-		found bool
-		err   error
+	var found atomic.Bool
+	grp := x.vpool.NewGroup(ctx)
+	for _, cg := range work {
+		cg := cg
+		grp.Go(func(gctx context.Context) error {
+			ok, err := containsQ(gctx, q, cg)
+			if err != nil {
+				return err
+			}
+			if ok {
+				found.Store(true)
+				return errComponentFound
+			}
+			return nil
+		})
 	}
-	jobs := make(chan *graph.Graph)
-	results := make(chan outcome, len(work))
-	var wg sync.WaitGroup
-	for w := 0; w < x.opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for cg := range jobs {
-				found, err := containsQ(ctx, q, cg)
-				results <- outcome{found, err}
-				if found {
-					cancel()
-					return
-				}
-			}
-		}()
+	err := grp.Wait()
+	if found.Load() {
+		return true, nil
 	}
-	go func() {
-		defer close(jobs)
-		for _, cg := range work {
-			select {
-			case jobs <- cg:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	done := 0
-	var firstErr error
-	for done < len(work) {
-		select {
-		case r := <-results:
-			done++
-			if r.found {
-				return true, nil
-			}
-			if r.err != nil && firstErr == nil {
-				firstErr = r.err
-			}
-		case <-ctx.Done():
-			// Workers will drain; if cancellation came from the parent
-			// context this is an error, otherwise a win already returned.
-			wg.Wait()
-			// Collect any straggler results already queued.
-			for {
-				select {
-				case r := <-results:
-					if r.found {
-						return true, nil
-					}
-				default:
-					return false, ctx.Err()
-				}
-			}
-		}
+	if cerr := ctx.Err(); cerr != nil {
+		return false, cerr
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return false, firstErr
+	if err != nil {
+		return false, err
 	}
 	return false, nil
 }

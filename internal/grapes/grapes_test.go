@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/psi-graph/psi/internal/ftv"
 	"github.com/psi-graph/psi/internal/graph"
@@ -342,4 +343,80 @@ func extractQuery(r *rand.Rand, g *graph.Graph, wantEdges int) *graph.Graph {
 		}
 	}
 	return b.MustBuild()
+}
+
+// TestBuildContextCancellation: a cancelled context aborts the build
+// instead of running feature extraction to completion (satellite fix for
+// the previously uncancellable parallel build).
+func TestBuildContextCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ds := randomDataset(r, 6, 30, 2) // dense-ish labels: plenty of paths
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildContext(ctx, ds, Options{}); err == nil {
+		t.Fatal("BuildContext with a cancelled context must fail")
+	}
+	// A live context still builds, identically to Build.
+	x1, err := BuildContext(context.Background(), ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := Build(ds, Options{})
+	q := extractQuery(r, ds[0], 3)
+	got, want := x1.Filter(q), x2.Filter(q)
+	if len(got) != len(want) {
+		t.Fatalf("Filter after ctx build %v vs plain build %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Filter after ctx build %v vs plain build %v", got, want)
+		}
+	}
+}
+
+// TestBuildContextCancelMidExtraction cancels while extraction is running
+// and asserts the build returns promptly with the context error.
+func TestBuildContextCancelMidExtraction(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	// A single label and high connectivity make path enumeration heavy
+	// enough that cancellation lands mid-graph.
+	ds := randomDataset(r, 4, 60, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := BuildContext(ctx, ds, Options{MaxPathLen: 6})
+	if err == nil {
+		t.Skip("build finished before the deadline; machine too fast for this fixture")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled build took %v — cancellation is not cooperative", elapsed)
+	}
+}
+
+// TestStatsAndFilterStream sanity-checks the unified-contract additions.
+func TestStatsAndFilterStream(t *testing.T) {
+	ds := smallDataset()
+	x := Build(ds, Options{Workers: 2})
+	defer x.Close()
+	st := x.Stats()
+	if st.Kind != Kind || st.Graphs != 3 || st.Features == 0 || st.Nodes == 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+	q := graph.MustNew("q", []graph.Label{0, 1}, [][2]int{{0, 1}})
+	want := x.Filter(q)
+	var got []int
+	if err := x.FilterStream(context.Background(), q, func(id int) bool {
+		got = append(got, id)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("FilterStream %v vs Filter %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("FilterStream %v vs Filter %v", got, want)
+		}
+	}
 }

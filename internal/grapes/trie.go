@@ -77,3 +77,20 @@ func (t *pathTrie) nodeCount() int {
 	}
 	return walk(t.root)
 }
+
+// featureCount reports the number of distinct indexed label sequences
+// (trie nodes carrying postings).
+func (t *pathTrie) featureCount() int {
+	var walk func(n *trieNode) int
+	walk = func(n *trieNode) int {
+		c := 0
+		if len(n.postings) > 0 {
+			c = 1
+		}
+		for _, ch := range n.children {
+			c += walk(ch)
+		}
+		return c
+	}
+	return walk(t.root)
+}

@@ -99,27 +99,45 @@ func (g *Graph) InducedSubgraph(name string, vertices []int32) (*Graph, []int32)
 // This is the feature-extraction primitive of Grapes and GGSX (§3.1.1: paths
 // are searched in a DFS manner up to a maximum length).
 func (g *Graph) EnumeratePaths(maxEdges int, visit func(path []int32)) {
+	g.EnumeratePathsWhile(maxEdges, func(path []int32) bool {
+		visit(path)
+		return true
+	})
+}
+
+// EnumeratePathsWhile is EnumeratePaths with early termination: visit
+// returning false abandons the enumeration immediately. It is the primitive
+// behind cancellable feature extraction — an index build that has been
+// cancelled can stop mid-graph instead of finishing a potentially huge DFS.
+func (g *Graph) EnumeratePathsWhile(maxEdges int, visit func(path []int32) bool) {
 	onPath := make([]bool, g.N())
 	path := make([]int32, 0, maxEdges+1)
-	var dfs func(v int32)
-	dfs = func(v int32) {
+	var dfs func(v int32) bool
+	dfs = func(v int32) bool {
 		onPath[v] = true
 		path = append(path, v)
+		more := true
 		if len(path) > 1 {
-			visit(path)
+			more = visit(path)
 		}
-		if len(path) <= maxEdges {
+		if more && len(path) <= maxEdges {
 			for _, w := range g.Neighbors(int(v)) {
 				if !onPath[w] {
-					dfs(w)
+					if !dfs(w) {
+						more = false
+						break
+					}
 				}
 			}
 		}
 		path = path[:len(path)-1]
 		onPath[v] = false
+		return more
 	}
 	for v := 0; v < g.N(); v++ {
-		dfs(int32(v))
+		if !dfs(int32(v)) {
+			return
+		}
 	}
 }
 

@@ -1,0 +1,52 @@
+package graph
+
+import "testing"
+
+// TestEnumeratePathsWhileMatchesEnumeratePaths: the stoppable enumerator
+// visits exactly the same paths in the same order when never stopped.
+func TestEnumeratePathsWhileMatchesEnumeratePaths(t *testing.T) {
+	g := MustNew("g", []Label{0, 1, 2, 1}, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	var plain [][]int32
+	g.EnumeratePaths(3, func(p []int32) {
+		plain = append(plain, append([]int32(nil), p...))
+	})
+	var while [][]int32
+	g.EnumeratePathsWhile(3, func(p []int32) bool {
+		while = append(while, append([]int32(nil), p...))
+		return true
+	})
+	if len(plain) != len(while) {
+		t.Fatalf("EnumeratePaths saw %d paths, EnumeratePathsWhile %d", len(plain), len(while))
+	}
+	for i := range plain {
+		if len(plain[i]) != len(while[i]) {
+			t.Fatalf("path %d differs: %v vs %v", i, plain[i], while[i])
+		}
+		for j := range plain[i] {
+			if plain[i][j] != while[i][j] {
+				t.Fatalf("path %d differs: %v vs %v", i, plain[i], while[i])
+			}
+		}
+	}
+}
+
+// TestEnumeratePathsWhileStops: returning false abandons the enumeration
+// immediately — no further visits anywhere, including other start vertices.
+func TestEnumeratePathsWhileStops(t *testing.T) {
+	g := MustNew("g", []Label{0, 1, 2, 1}, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	total := 0
+	g.EnumeratePaths(3, func([]int32) { total++ })
+	if total < 10 {
+		t.Fatalf("fixture too small: %d paths", total)
+	}
+	for stopAt := 1; stopAt <= 3; stopAt++ {
+		visits := 0
+		g.EnumeratePathsWhile(3, func([]int32) bool {
+			visits++
+			return visits < stopAt
+		})
+		if visits != stopAt {
+			t.Errorf("stopAt=%d: visited %d paths after stop", stopAt, visits)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package index defines the single filtering-index contract shared by the
+// repo's alternative filter-then-verify methods — the path-based FTV baseline
+// (this package), Grapes and GGSX — and the plumbing every implementation
+// used to duplicate: presence/frequency pruning over query features, pooled
+// deterministic builds, and the streaming filter→verify pipeline.
+//
+// The contract exists so the Engine can treat filtering indexes exactly like
+// matching algorithms: as interchangeable alternatives to race. The paper's
+// thesis is that parallel use of alternatives beats committing to any single
+// strategy; GRAPES and GGSX are precisely the "alternative algorithms" its
+// portfolio drops in, so they must be swappable — and raceable — behind one
+// interface.
+//
+// Implementations register a builder under a kind name ("ftv", "grapes",
+// "ggsx") at init time; Build dispatches on the kind, so callers that import
+// the implementation packages can construct any index uniformly.
+package index
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/psi-graph/psi/internal/exec"
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+// Index is the unified filtering-index contract. It extends the ftv
+// filter-then-verify core with streaming candidate emission (so verification
+// can start before filtering finishes) and build/shape statistics (so a
+// racing Engine can report per-index provenance). Implementations are safe
+// for concurrent queries once built.
+type Index interface {
+	ftv.Index
+
+	// FilterStream emits the IDs of graphs that may contain q, in the same
+	// ascending order Filter returns, but incrementally: each candidate is
+	// handed to emit as soon as it is known to survive every query feature,
+	// without waiting for the remaining graphs to be checked. emit returning
+	// false abandons the remaining work; a cancelled ctx ends the stream
+	// with the context's error.
+	FilterStream(ctx context.Context, q *graph.Graph, emit func(graphID int) bool) error
+
+	// Stats reports the index's build provenance and shape.
+	Stats() Stats
+
+	// Close releases any resources the index owns (e.g. Grapes' dedicated
+	// verification pool); a no-op for indexes that own none. Queries in
+	// flight degrade gracefully.
+	Close()
+}
+
+// FilterStreamer is the streaming-filter capability on its own; consumers
+// holding only an ftv.Index (the pre-unification contract) type-assert to it
+// to upgrade to the pipelined filter→verify path.
+type FilterStreamer interface {
+	FilterStream(ctx context.Context, q *graph.Graph, emit func(graphID int) bool) error
+}
+
+// Stats describes a built index.
+type Stats struct {
+	// Name is the instance name as reported by Index.Name.
+	Name string
+	// Kind is the registered builder kind ("ftv", "grapes", "ggsx").
+	Kind string
+	// Graphs is the number of indexed dataset graphs.
+	Graphs int
+	// MaxPathLen is the maximum indexed path length in edges.
+	MaxPathLen int
+	// Features is the number of distinct indexed path features.
+	Features int
+	// Nodes is the size of the backing structure (trie/suffix-trie nodes,
+	// or hash-map entries for the flat path index).
+	Nodes int
+	// BuildTime is the wall-clock construction time.
+	BuildTime time.Duration
+	// BuildWorkers is the extraction parallelism the build ran with.
+	BuildWorkers int
+}
+
+// Options configures Build.
+type Options struct {
+	// MaxPathLen is the maximum indexed path length in edges; 0 means
+	// ftv.DefaultMaxPathLen (4), the paper's setting.
+	MaxPathLen int
+	// Workers is the per-index verification parallelism knob (the paper's
+	// Grapes/1 vs Grapes/4); indexes without internal verification
+	// parallelism ignore it. 0 means 1.
+	Workers int
+	// Pool is the execution pool feature extraction fans out on during the
+	// build; nil selects the shared default pool. Build output is identical
+	// for every pool size.
+	Pool *exec.Pool
+}
+
+// BuildFunc constructs an Index of one kind over a dataset.
+type BuildFunc func(ctx context.Context, ds []*graph.Graph, opts Options) (Index, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]BuildFunc{}
+)
+
+// Register makes a builder available under a kind name. Implementations call
+// it from init; registering a duplicate kind panics.
+func Register(kind string, b BuildFunc) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic("index: duplicate kind " + kind)
+	}
+	registry[kind] = b
+}
+
+// Kinds lists the registered kinds, sorted.
+func Kinds() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs an index of the registered kind. The build is cancellable
+// through ctx and deterministic for any opts.Pool size.
+func Build(ctx context.Context, kind string, ds []*graph.Graph, opts Options) (Index, error) {
+	registryMu.RLock()
+	b := registry[kind]
+	registryMu.RUnlock()
+	if b == nil {
+		return nil, fmt.Errorf("index: unknown kind %q (registered: %v)", kind, Kinds())
+	}
+	return b(ctx, ds, opts)
+}
+
+// Postings is one path feature's per-graph occurrence counts — the common
+// shape the shared filter logic consumes regardless of whether the backing
+// structure is a trie (Grapes), a suffix trie (GGSX) or a flat map (FTV).
+type Postings interface {
+	// Len is the number of graphs the feature occurs in.
+	Len() int
+	// Count returns the feature's occurrence count in graphID; ok is false
+	// when the feature does not occur there.
+	Count(graphID int) (int32, bool)
+	// Range visits every (graph, count) pair until f returns false.
+	Range(f func(graphID int, count int32) bool)
+}
+
+// MapPostings adapts the plain map representation to Postings.
+type MapPostings map[int]int32
+
+// Len implements Postings.
+func (m MapPostings) Len() int { return len(m) }
+
+// Count implements Postings.
+func (m MapPostings) Count(graphID int) (int32, bool) {
+	c, ok := m[graphID]
+	return c, ok
+}
+
+// Range implements Postings.
+func (m MapPostings) Range(f func(graphID int, count int32) bool) {
+	for id, c := range m {
+		if !f(id, c) {
+			return
+		}
+	}
+}
+
+// LookupFunc resolves one query feature's postings; ok is false when the
+// label sequence is absent from every indexed graph.
+type LookupFunc func(labels []graph.Label) (Postings, bool)
+
+// FilterByFeatures is the presence-and-frequency pruning every path index
+// shares: a graph survives iff it contains each query feature at least as
+// often as the query does. Results are ascending graph IDs; an empty feature
+// set (edgeless query) keeps every graph. It is the collecting form of
+// StreamByFeatures.
+func FilterByFeatures(nGraphs int, feats map[ftv.Key]*ftv.QueryFeature, lookup LookupFunc) []int {
+	var out []int
+	// The background context never cancels, so the error is always nil.
+	_ = StreamByFeatures(context.Background(), nGraphs, feats, lookup, func(id int) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// StreamByFeatures is the streaming form of FilterByFeatures: surviving
+// graph IDs are emitted in ascending order as soon as each graph has been
+// checked against every feature, driven by the rarest feature's postings so
+// per-graph work is bounded by the feature count. emit returning false
+// abandons the scan; ctx cancellation ends it with the context's error.
+func StreamByFeatures(ctx context.Context, nGraphs int, feats map[ftv.Key]*ftv.QueryFeature, lookup LookupFunc, emit func(graphID int) bool) error {
+	if len(feats) == 0 {
+		// No path features (edgeless query): every graph is a candidate.
+		for id := 0; id < nGraphs; id++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !emit(id) {
+				return nil
+			}
+		}
+		return nil
+	}
+	type need struct {
+		p   Postings
+		min int32
+	}
+	needs := make([]need, 0, len(feats))
+	for _, f := range feats {
+		p, ok := lookup(f.Labels)
+		if !ok || p.Len() == 0 {
+			return nil // feature absent everywhere: no candidates
+		}
+		needs = append(needs, need{p: p, min: f.Count})
+	}
+	// Drive the scan with the rarest feature; the others are point lookups.
+	driver := 0
+	for i, n := range needs {
+		if n.p.Len() < needs[driver].p.Len() {
+			driver = i
+		}
+	}
+	candidates := make([]int, 0, needs[driver].p.Len())
+	needs[driver].p.Range(func(id int, c int32) bool {
+		if c >= needs[driver].min {
+			candidates = append(candidates, id)
+		}
+		return true
+	})
+	sort.Ints(candidates)
+	for _, id := range candidates {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ok := true
+		for i, n := range needs {
+			if i == driver {
+				continue
+			}
+			c, present := n.p.Count(id)
+			if !present || c < n.min {
+				ok = false
+				break
+			}
+		}
+		if ok && !emit(id) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// StreamVerified pipelines filtering into verification: every candidate the
+// filter emits starts verifying on a pool worker immediately, while the
+// filter keeps scanning — the streaming-first shape of the match pipeline
+// applied to the FTV decision problem. Verified IDs are handed to emit in
+// filter order (ascending for contract-conforming filters) as soon as each
+// ID and every candidate before it has been decided. emit returning false
+// cancels the outstanding work and ends the stream with a nil error; the
+// first verification error cancels the rest and is returned; a ctx
+// cancellation that cut the filter short is returned as the context's error,
+// never silently surfaced as a complete (empty) answer.
+//
+// The filter runs on the caller's goroutine, with the pool providing
+// backpressure; callers must not invoke StreamVerified from inside a task
+// running on p itself (the racer layers above never do).
+func StreamVerified(ctx context.Context, p *exec.Pool, filter func(ctx context.Context, emit func(graphID int) bool) error, emit func(graphID int) bool, check func(ctx context.Context, graphID int) (bool, error)) error {
+	if p == nil {
+		p = exec.Default()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	const (
+		pending = uint8(iota)
+		hit
+		miss
+	)
+	var (
+		mu        sync.Mutex
+		ids       []int
+		state     []uint8
+		next      int // first undecided position: everything before is settled
+		stopped   bool
+		truncated bool
+	)
+	grp := p.NewGroup(sctx)
+	ferr := filter(sctx, func(id int) bool {
+		if grp.Context().Err() != nil {
+			// Cancelled (caller ctx, emit stop, or a verification error):
+			// stop scanning; Wait sorts out which it was.
+			truncated = true
+			return false
+		}
+		mu.Lock()
+		pos := len(ids)
+		ids = append(ids, id)
+		state = append(state, pending)
+		mu.Unlock()
+		grp.Go(func(gctx context.Context) error {
+			ok, err := check(gctx, id)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if stopped {
+				return nil
+			}
+			if ok {
+				state[pos] = hit
+			} else {
+				state[pos] = miss
+			}
+			// Flush the newly contiguous decided prefix in filter order.
+			for next < len(ids) && state[next] != pending {
+				if state[next] == hit && !emit(ids[next]) {
+					stopped = true
+					cancel()
+					return nil
+				}
+				next++
+			}
+			return nil
+		})
+		return true
+	})
+	werr := grp.Wait()
+	mu.Lock()
+	wasStopped := stopped
+	mu.Unlock()
+	if wasStopped {
+		return nil
+	}
+	if werr != nil {
+		return werr
+	}
+	if ferr != nil {
+		return ferr
+	}
+	if truncated {
+		// The filter was cut short by cancellation without reporting it
+		// (its emit just returned false); a truncated scan must not read
+		// as a completed empty one.
+		return ctx.Err()
+	}
+	return nil
+}
+
+// AnswerStream runs the streaming decision pipeline over one index: filter
+// and verification overlap through StreamVerified, and each containing graph
+// ID reaches emit incrementally in ascending order. p sizes the verification
+// fan-out (nil: shared default pool).
+func AnswerStream(ctx context.Context, x Index, q *graph.Graph, p *exec.Pool, emit func(graphID int) bool) error {
+	return StreamVerified(ctx, p,
+		func(fctx context.Context, femit func(int) bool) error {
+			return x.FilterStream(fctx, q, femit)
+		},
+		emit,
+		func(gctx context.Context, id int) (bool, error) {
+			return x.Verify(gctx, q, id)
+		})
+}
+
+// Answer is the collecting form of AnswerStream: ascending IDs of dataset
+// graphs containing q, identical to ftv.Answer over the same index.
+func Answer(ctx context.Context, x Index, q *graph.Graph, p *exec.Pool) ([]int, error) {
+	var out []int
+	err := AnswerStream(ctx, x, q, p, func(id int) bool {
+		out = append(out, id)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

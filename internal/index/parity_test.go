@@ -1,0 +1,284 @@
+package index_test
+
+// Cross-index parity: the three filtering indexes (flat path-based FTV,
+// Grapes, GGSX) implement one contract over different data structures, so
+// on any dataset
+//
+//   - every Filter result must be a superset of the true answer set (the
+//     no-false-negatives guarantee verification relies on), and
+//   - the full Answer pipeline must return byte-identical ascending IDs
+//     for all three — and match brute-force VF2 over the whole dataset.
+//
+// The tests run in an external package so they can build the real Grapes
+// and GGSX implementations against the contract (the implementation
+// packages import internal/index; the reverse would cycle).
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/psi-graph/psi/internal/exec"
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/ggsx"
+	"github.com/psi-graph/psi/internal/grapes"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/index"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+// buildAll constructs every registered index kind over ds with the given
+// extraction pool.
+func buildAll(t *testing.T, ds []*graph.Graph, maxLen int, pool *exec.Pool) []index.Index {
+	t.Helper()
+	var out []index.Index
+	for _, kind := range index.Kinds() {
+		x, err := index.Build(context.Background(), kind, ds, index.Options{MaxPathLen: maxLen, Pool: pool})
+		if err != nil {
+			t.Fatalf("build %s: %v", kind, err)
+		}
+		out = append(out, x)
+	}
+	if len(out) < 3 {
+		t.Fatalf("only %d kinds registered, want ftv+grapes+ggsx", len(out))
+	}
+	return out
+}
+
+// trueAnswers is the brute-force ground truth: VF2 against every graph.
+func trueAnswers(t *testing.T, ds []*graph.Graph, q *graph.Graph) []int {
+	t.Helper()
+	var want []int
+	for id, g := range ds {
+		embs, err := vf2.Match(context.Background(), q, g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(embs) > 0 {
+			want = append(want, id)
+		}
+	}
+	return want
+}
+
+func randomDataset(r *rand.Rand, numGraphs, n, labels int) []*graph.Graph {
+	ds := make([]*graph.Graph, numGraphs)
+	for i := range ds {
+		b := graph.NewBuilder("g")
+		for v := 0; v < n; v++ {
+			b.AddVertex(graph.Label(r.Intn(labels)))
+		}
+		for v := 1; v < n; v++ {
+			if err := b.AddEdge(r.Intn(v), v); err != nil {
+				panic(err)
+			}
+		}
+		for e := 0; e < n/2; e++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !b.HasEdgePending(u, v) {
+				if err := b.AddEdge(u, v); err != nil {
+					panic(err)
+				}
+			}
+		}
+		ds[i] = b.MustBuild()
+	}
+	return ds
+}
+
+// extractQuery grows a connected query of wantEdges edges from a random
+// vertex of g.
+func extractQuery(r *rand.Rand, g *graph.Graph, wantEdges int) *graph.Graph {
+	start := r.Intn(g.N())
+	inQ := map[int32]bool{int32(start): true}
+	type edge struct{ u, v int32 }
+	var qEdges []edge
+	has := func(a, b int32) bool {
+		for _, e := range qEdges {
+			if (e.u == a && e.v == b) || (e.u == b && e.v == a) {
+				return true
+			}
+		}
+		return false
+	}
+	for len(qEdges) < wantEdges {
+		var frontier []edge
+		for v := range inQ {
+			for _, w := range g.Neighbors(int(v)) {
+				if !has(v, w) {
+					frontier = append(frontier, edge{v, w})
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		e := frontier[r.Intn(len(frontier))]
+		qEdges = append(qEdges, e)
+		inQ[e.u] = true
+		inQ[e.v] = true
+	}
+	ids := make([]int32, 0, len(inQ))
+	for v := range inQ {
+		ids = append(ids, v)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	old2new := make(map[int32]int, len(ids))
+	b := graph.NewBuilder("q")
+	for i, v := range ids {
+		old2new[v] = i
+		b.AddVertex(g.Label(int(v)))
+	}
+	for _, e := range qEdges {
+		if err := b.AddEdge(old2new[e.u], old2new[e.v]); err != nil {
+			panic(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+func isSuperset(sup, sub []int) bool {
+	set := make(map[int]bool, len(sup))
+	for _, id := range sup {
+		set[id] = true
+	}
+	for _, id := range sub {
+		if !set[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrossIndexParity asserts, over generated datasets and queries, that
+// every index's Filter is a superset of the true answer set and that the
+// Answer pipelines of all three indexes agree byte-for-byte with brute
+// force.
+func TestCrossIndexParity(t *testing.T) {
+	pool := exec.New(2)
+	defer pool.Close()
+	for seed := int64(1); seed <= 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		ds := randomDataset(r, 5, 10+r.Intn(5), 3)
+		xs := buildAll(t, ds, 3, pool)
+		for qi := 0; qi < 3; qi++ {
+			q := extractQuery(r, ds[r.Intn(len(ds))], 2+r.Intn(4))
+			want := trueAnswers(t, ds, q)
+			for _, x := range xs {
+				cands := x.Filter(q)
+				if !isSuperset(cands, want) {
+					t.Fatalf("seed %d q%d: %s Filter %v misses true answers %v",
+						seed, qi, x.Name(), cands, want)
+				}
+				got, err := ftv.Answer(context.Background(), x, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameInts(got, want) {
+					t.Fatalf("seed %d q%d: %s Answer = %v, want %v",
+						seed, qi, x.Name(), got, want)
+				}
+				// The streaming pipeline must produce the identical answer.
+				streamed, err := index.Answer(context.Background(), x, q, pool)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameInts(streamed, want) {
+					t.Fatalf("seed %d q%d: %s streaming Answer = %v, want %v",
+						seed, qi, x.Name(), streamed, want)
+				}
+			}
+		}
+		closeAll(xs)
+	}
+}
+
+func closeAll(xs []index.Index) {
+	for _, x := range xs {
+		x.Close()
+	}
+}
+
+// TestBuildDeterminismAcrossWorkerCounts is the acceptance check that all
+// three index builds produce identical Filter output at Workers=1 vs
+// Workers=N: the same dataset is indexed on a 1-worker and a 4-worker
+// extraction pool and every query must filter identically (and the index
+// shapes must match feature-for-feature).
+func TestBuildDeterminismAcrossWorkerCounts(t *testing.T) {
+	pool1 := exec.New(1)
+	defer pool1.Close()
+	pool4 := exec.New(4)
+	defer pool4.Close()
+	r := rand.New(rand.NewSource(7))
+	ds := randomDataset(r, 6, 14, 3)
+	xs1 := buildAll(t, ds, 4, pool1)
+	xs4 := buildAll(t, ds, 4, pool4)
+	defer closeAll(xs1)
+	defer closeAll(xs4)
+	var queries []*graph.Graph
+	for qi := 0; qi < 6; qi++ {
+		queries = append(queries, extractQuery(r, ds[r.Intn(len(ds))], 2+r.Intn(4)))
+	}
+	queries = append(queries, graph.MustNew("edgeless", []graph.Label{0}, nil))
+	for i := range xs1 {
+		s1, s4 := xs1[i].Stats(), xs4[i].Stats()
+		if s1.Features != s4.Features || s1.Nodes != s4.Nodes {
+			t.Errorf("%s: shape differs across worker counts: 1-worker %+v vs 4-worker %+v",
+				xs1[i].Name(), s1, s4)
+		}
+		for qi, q := range queries {
+			f1, f4 := xs1[i].Filter(q), xs4[i].Filter(q)
+			if !sameInts(f1, f4) {
+				t.Errorf("%s q%d: Filter differs across worker counts: %v vs %v",
+					xs1[i].Name(), qi, f1, f4)
+			}
+		}
+	}
+	// Grapes' paper-facing worker knob must not change filtering either.
+	g1 := grapes.Build(ds, grapes.Options{Workers: 1})
+	g4 := grapes.Build(ds, grapes.Options{Workers: 4})
+	defer g1.Close()
+	defer g4.Close()
+	for qi, q := range queries {
+		if f1, f4 := g1.Filter(q), g4.Filter(q); !sameInts(f1, f4) {
+			t.Errorf("Grapes workers 1 vs 4 q%d: Filter %v vs %v", qi, f1, f4)
+		}
+	}
+	// GGSX built through its own constructor matches the registry build.
+	gg := ggsx.Build(ds, ggsx.Options{})
+	for qi, q := range queries {
+		want := xs1[indexOfKind(t, ggsx.Kind)].Filter(q)
+		if got := gg.Filter(q); !sameInts(got, want) {
+			t.Errorf("GGSX direct vs registry q%d: %v vs %v", qi, got, want)
+		}
+	}
+}
+
+// indexOfKind maps a registered kind to its position in buildAll's output
+// (Kinds() is sorted).
+func indexOfKind(t *testing.T, kind string) int {
+	t.Helper()
+	for i, k := range index.Kinds() {
+		if k == kind {
+			return i
+		}
+	}
+	t.Fatalf("kind %q not registered", kind)
+	return -1
+}

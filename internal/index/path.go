@@ -1,0 +1,132 @@
+package index
+
+// The path-based FTV baseline: the simplest member of the portfolio. It
+// stores every extracted path feature in a flat hash map keyed by the packed
+// label sequence — no trie, no locations — and verifies candidates with VF2
+// against the whole stored graph. Its filtering power is identical to GGSX
+// (both count all ≤maxLen paths); what differs is the storage layout and
+// lookup cost, which is exactly the kind of constant-factor alternative the
+// racing Engine exploits: on some queries the flat map's O(1) feature lookup
+// beats the tries, on others the tries' shared prefixes win.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/psi-graph/psi/internal/exec"
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+// KindPath is the registered kind of the flat path index.
+const KindPath = "ftv"
+
+func init() {
+	Register(KindPath, func(ctx context.Context, ds []*graph.Graph, opts Options) (Index, error) {
+		x, err := BuildPath(ctx, ds, opts)
+		if err != nil {
+			return nil, err
+		}
+		return x, nil
+	})
+}
+
+// Path is the flat path-feature index. Safe for concurrent use once built.
+type Path struct {
+	ds         []*graph.Graph
+	maxPathLen int
+	postings   map[ftv.Key]MapPostings
+	verifier   []*vf2.Matcher // per-graph VF2 matcher with prebuilt label index
+	stats      Stats
+}
+
+// BuildPath constructs the flat path index, extracting features across the
+// pool's workers; output is identical for every pool size.
+func BuildPath(ctx context.Context, ds []*graph.Graph, opts Options) (*Path, error) {
+	if opts.MaxPathLen <= 0 {
+		opts.MaxPathLen = ftv.DefaultMaxPathLen
+	}
+	start := time.Now()
+	feats, err := ftv.ExtractDatasetFeatures(ctx, opts.Pool, ds, opts.MaxPathLen, false)
+	if err != nil {
+		return nil, err
+	}
+	x := &Path{
+		ds:         ds,
+		maxPathLen: opts.MaxPathLen,
+		postings:   make(map[ftv.Key]MapPostings),
+		verifier:   make([]*vf2.Matcher, len(ds)),
+	}
+	for id, fs := range feats {
+		for key, f := range fs {
+			m := x.postings[key]
+			if m == nil {
+				m = make(MapPostings)
+				x.postings[key] = m
+			}
+			m[id] = f.Count
+		}
+		x.verifier[id] = vf2.New(ds[id])
+	}
+	x.stats = Stats{
+		Name:         x.Name(),
+		Kind:         KindPath,
+		Graphs:       len(ds),
+		MaxPathLen:   opts.MaxPathLen,
+		Features:     len(x.postings),
+		Nodes:        len(x.postings),
+		BuildTime:    time.Since(start),
+		BuildWorkers: PoolWorkers(opts.Pool),
+	}
+	return x, nil
+}
+
+// PoolWorkers reports a build pool's parallelism for Stats.BuildWorkers; 0
+// marks the shared default pool (whose size is the CPU count). Shared by
+// every index implementation.
+func PoolWorkers(p *exec.Pool) int {
+	if p == nil {
+		return 0
+	}
+	return p.Workers()
+}
+
+// Name implements ftv.Index.
+func (x *Path) Name() string { return "FTV" }
+
+// Dataset implements ftv.Index.
+func (x *Path) Dataset() []*graph.Graph { return x.ds }
+
+// MaxPathLen returns the indexed path length.
+func (x *Path) MaxPathLen() int { return x.maxPathLen }
+
+// Stats implements Index.
+func (x *Path) Stats() Stats { return x.stats }
+
+// Close implements Index; the flat index owns no resources.
+func (x *Path) Close() {}
+
+func (x *Path) lookup(labels []graph.Label) (Postings, bool) {
+	m, ok := x.postings[ftv.MakeKey(labels)]
+	return m, ok
+}
+
+// Filter implements ftv.Index via the shared presence/frequency pruning.
+func (x *Path) Filter(q *graph.Graph) []int {
+	return FilterByFeatures(len(x.ds), ftv.QueryFeatures(q, x.maxPathLen), x.lookup)
+}
+
+// FilterStream implements Index.
+func (x *Path) FilterStream(ctx context.Context, q *graph.Graph, emit func(graphID int) bool) error {
+	return StreamByFeatures(ctx, len(x.ds), ftv.QueryFeatures(q, x.maxPathLen), x.lookup, emit)
+}
+
+// Verify implements ftv.Index: VF2 against the whole stored graph.
+func (x *Path) Verify(ctx context.Context, q *graph.Graph, graphID int) (bool, error) {
+	if graphID < 0 || graphID >= len(x.verifier) {
+		return false, fmt.Errorf("index: graph ID %d out of range [0,%d)", graphID, len(x.verifier))
+	}
+	return x.verifier[graphID].Contains(ctx, q)
+}

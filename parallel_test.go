@@ -14,7 +14,7 @@ import (
 func ftvFixtures(t *testing.T) ([]*psi.Graph, []psi.FTVIndex, []*psi.Graph) {
 	t.Helper()
 	ds := psi.GenerateSynthetic(psi.Tiny, 1)
-	indexes := []psi.FTVIndex{psi.NewGGSX(ds), psi.NewGrapes(ds, 1)}
+	indexes := []psi.FTVIndex{psi.NewGGSX(ds), psi.NewGrapes(ds, 1), psi.NewPathIndex(ds)}
 	var queries []*psi.Graph
 	for i, g := range ds {
 		queries = append(queries,

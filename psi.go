@@ -14,6 +14,7 @@ import (
 	"github.com/psi-graph/psi/internal/gql"
 	"github.com/psi-graph/psi/internal/grapes"
 	"github.com/psi-graph/psi/internal/graph"
+	indexpkg "github.com/psi-graph/psi/internal/index"
 	"github.com/psi-graph/psi/internal/match"
 	"github.com/psi-graph/psi/internal/quicksi"
 	"github.com/psi-graph/psi/internal/rewrite"
@@ -50,8 +51,23 @@ type (
 	Racer = core.Racer
 	// RaceResult is the outcome of a race, including winner provenance.
 	RaceResult = core.Result
-	// FTVIndex is the filter-then-verify contract (Grapes, GGSX).
+	// FTVIndex is the narrow filter-then-verify contract the racers and
+	// the result cache consume; FilterIndex extends it.
 	FTVIndex = ftv.Index
+	// FilterIndex is the unified filtering-index contract implemented by
+	// every index built here (path-based FTV, Grapes, GGSX): the FTVIndex
+	// core plus streaming candidate emission (FilterStream) and build
+	// statistics (Stats). The Engine races FilterIndexes against each
+	// other exactly as it races matching algorithms.
+	FilterIndex = indexpkg.Index
+	// IndexStats describes a built filtering index (build time, feature
+	// and node counts, extraction parallelism).
+	IndexStats = indexpkg.Stats
+	// IndexAttempt reports one filtering index's run inside an Engine
+	// index race: winner/cancelled flags, emissions and timing.
+	IndexAttempt = core.IndexAttempt
+	// IndexRacer races alternative filtering indexes per query.
+	IndexRacer = core.IndexRacer
 	// FTVRacer races query rewritings inside FTV verification.
 	FTVRacer = core.FTVRacer
 )
@@ -190,16 +206,52 @@ func VerifyEmbedding(q, g *Graph, emb Embedding) error {
 }
 
 // NewGrapes builds a Grapes index (path trie with location information)
-// over a dataset, with the given worker-pool size (the paper's Grapes/1 and
-// Grapes/4 are workers=1 and workers=4).
-func NewGrapes(dataset []*Graph, workers int) FTVIndex {
+// over a dataset, with the given verification worker-pool size (the paper's
+// Grapes/1 and Grapes/4 are workers=1 and workers=4). The build's feature
+// extraction fans out across the shared execution pool with deterministic
+// output. The result implements the unified FilterIndex contract — it can
+// be raced against other indexes by a dataset Engine — and still satisfies
+// the narrower FTVIndex everywhere the racers and cache expect one.
+func NewGrapes(dataset []*Graph, workers int) FilterIndex {
 	return grapes.Build(dataset, grapes.Options{Workers: workers})
 }
 
 // NewGGSX builds a GGSX index (path suffix trie, no locations) over a
-// dataset.
-func NewGGSX(dataset []*Graph) FTVIndex {
+// dataset, with pooled deterministic feature extraction. Like NewGrapes it
+// returns the unified FilterIndex contract.
+func NewGGSX(dataset []*Graph) FilterIndex {
 	return ggsx.Build(dataset, ggsx.Options{})
+}
+
+// NewPathIndex builds the flat path-based FTV baseline index (hash map from
+// packed label sequence to per-graph counts, VF2 verification against whole
+// graphs) — the third alternative in the filtering-index portfolio, with
+// the same filtering power as GGSX at a different constant factor.
+func NewPathIndex(dataset []*Graph) FilterIndex {
+	x, err := indexpkg.BuildPath(context.Background(), dataset, indexpkg.Options{})
+	if err != nil {
+		// Unreachable: the background context never cancels and extraction
+		// has no other failure mode.
+		panic(err)
+	}
+	return x
+}
+
+// BuildIndex constructs any registered filtering index ("ftv", "grapes",
+// "ggsx") with explicit options; the build is cancellable through ctx and
+// deterministic for every pool size.
+func BuildIndex(ctx context.Context, kind string, dataset []*Graph, workers int) (FilterIndex, error) {
+	return indexpkg.Build(ctx, kind, dataset, indexpkg.Options{Workers: workers})
+}
+
+// IndexKinds lists the registered filtering-index kinds.
+func IndexKinds() []string { return indexpkg.Kinds() }
+
+// NewIndexRacer races the given filtering indexes per query with the given
+// rewritings raced per candidate inside each; see Engine's race policy for
+// the serving-shaped form.
+func NewIndexRacer(indexes []FilterIndex, kinds []Rewriting) *IndexRacer {
+	return core.NewIndexRacer(indexes, kinds)
 }
 
 // NewFTVRacer wraps an FTV index so that every candidate-graph verification

@@ -222,3 +222,49 @@ func TestCachedFTVAPI(t *testing.T) {
 		t.Errorf("stats = %+v, want one exact hit", cached.Stats())
 	}
 }
+
+// TestFilterIndexFacade exercises the unified filtering-index exports: the
+// registry lists all three kinds, BuildIndex constructs any of them, and
+// every built index answers identically through the FTV pipeline.
+func TestFilterIndexFacade(t *testing.T) {
+	kinds := psi.IndexKinds()
+	if len(kinds) < 3 {
+		t.Fatalf("IndexKinds = %v, want ftv/grapes/ggsx", kinds)
+	}
+	ds := []*psi.Graph{
+		psi.MustNewGraph("d0", []psi.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}, {2, 0}}),
+		psi.MustNewGraph("d1", []psi.Label{0, 1, 2, 0}, [][2]int{{0, 1}, {1, 2}, {2, 3}}),
+		psi.MustNewGraph("d2", []psi.Label{1, 0, 0, 0}, [][2]int{{0, 1}, {0, 2}, {0, 3}}),
+	}
+	q := psi.MustNewGraph("q", []psi.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}})
+	var want []int
+	for i, kind := range kinds {
+		x, err := psi.BuildIndex(context.Background(), kind, ds, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := x.Stats(); st.Kind != kind || st.Graphs != len(ds) {
+			t.Errorf("%s Stats = %+v", kind, st)
+		}
+		got, err := psi.FTVAnswer(context.Background(), x, q)
+		x.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s answered %v, first kind answered %v", kind, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("%s answered %v, first kind answered %v", kind, got, want)
+			}
+		}
+	}
+	if _, err := psi.BuildIndex(context.Background(), "btree", ds, 1); err == nil {
+		t.Error("BuildIndex of unknown kind must fail")
+	}
+}

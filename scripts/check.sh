@@ -30,4 +30,11 @@ go test -race ./...
 echo "== bench smoke (1 iteration) =="
 go test -run='^$' -bench=. -benchtime=1x .
 
+echo "== index build + race smoke =="
+# Builds every registered filtering index over a generated dataset and
+# races them per query through the Engine facade; catches registry,
+# build-determinism and race-plumbing breakage that unit tests with stub
+# indexes would miss.
+go run ./cmd/psibench -engine -index=race -scale=tiny -queries 4
+
 echo "All checks passed."
