@@ -48,8 +48,10 @@ func main() {
 		queriesFlag = flag.Int("queries", 0, "override queries per size")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
 		engineFlag  = flag.Bool("engine", false, "benchmark the psi.Engine facade instead of replaying experiments")
-		indexFlag   = flag.String("index", "race", "engine mode: filtering indexes, ftv|grapes|ggsx, a comma list, or race (all)")
-		jsonFlag    = flag.Bool("json", false, "engine mode: emit one JSON object per query")
+		serveFlag   = flag.Bool("serve", false, "benchmark the HTTP serving stack (internal/server) with a closed-loop load generator")
+		durFlag     = flag.Duration("dur", 1500*time.Millisecond, "serve mode: measured duration per (clients, cache) cell")
+		indexFlag   = flag.String("index", "race", "engine/serve mode: filtering indexes, ftv|grapes|ggsx, a comma list, or race (all)")
+		jsonFlag    = flag.Bool("json", false, "engine/serve mode: emit machine-readable JSON results")
 	)
 	flag.Parse()
 
@@ -63,6 +65,13 @@ func main() {
 	scale, err := gen.ParseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *serveFlag {
+		if err := runServeBench(scale, *scaleFlag, *indexFlag, *seedFlag, *queriesFlag, *durFlag, *jsonFlag); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *engineFlag {
@@ -136,13 +145,13 @@ func runEngineBench(scale psi.Scale, indexSpec string, seed int64, queries int, 
 	}
 
 	type record struct {
-		Query    int           `json:"query"`
-		Edges    int           `json:"edges"`
-		Answers  int           `json:"answers"`
-		Winner   string        `json:"winner"`
-		Elapsed  time.Duration `json:"elapsed_ns"`
-		Killed   bool          `json:"killed"`
-		Attempts []psi.IndexAttempt
+		Query    int                `json:"query"`
+		Edges    int                `json:"edges"`
+		Answers  int                `json:"answers"`
+		Winner   string             `json:"winner"`
+		Elapsed  time.Duration      `json:"elapsed_ns"`
+		Killed   bool               `json:"killed"`
+		Attempts []psi.IndexAttempt `json:"attempts,omitempty"`
 	}
 	wins := map[string]int{}
 	var total time.Duration
@@ -182,6 +191,27 @@ func runEngineBench(scale psi.Scale, indexSpec string, seed int64, queries int, 
 		fmt.Fprintf(info, " %s=%d", name, n)
 	}
 	fmt.Fprintf(info, "\ntotal query time: %v (%d queries)\n", total.Round(time.Millisecond), queries)
+	if asJSON {
+		// A trailing machine-readable summary record, so bench files are
+		// generated end to end: per-query records, then one aggregate with
+		// build provenance and the engine's operational counters.
+		summary := struct {
+			Summary        bool               `json:"summary"`
+			Queries        int                `json:"queries"`
+			TotalElapsedNS time.Duration      `json:"total_elapsed_ns"`
+			BuildNS        time.Duration      `json:"build_ns"`
+			Wins           map[string]int     `json:"wins"`
+			Indexes        []psi.IndexStats   `json:"indexes"`
+			Counters       psi.EngineCounters `json:"counters"`
+		}{
+			Summary: true, Queries: queries, TotalElapsedNS: total,
+			BuildNS: buildTime, Wins: wins,
+			Indexes: eng.IndexStats(), Counters: eng.Counters(),
+		}
+		if err := enc.Encode(summary); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,242 @@
+// Command psiserve is the HTTP/JSON front end over the serving subsystem:
+// it builds one long-lived psi.Engine from a dataset file (or a generated
+// dataset) and serves queries with admission control, per-request
+// deadlines, NDJSON streaming, a shared result cache and graceful drain.
+//
+//	psiserve -data ppi.txt -index race -timeout 10m -addr 127.0.0.1:8080
+//	psiserve -gen ppi -scale tiny -seed 1 -addr 127.0.0.1:0 -portfile port.txt
+//
+// Endpoints:
+//
+//	POST /query[?limit=N&stream=1&cache=0&timeout_ms=N]  — body: one query
+//	     graph in the module's text format. JSON answer, or NDJSON lines
+//	     (one per embedding / containing graph ID, then a summary line)
+//	     with stream=1.
+//	GET  /stats    — JSON snapshot: engine counters, win tallies, index
+//	     build provenance, cache effectiveness, admission state.
+//	GET  /metrics  — the same counters in Prometheus text format.
+//	GET  /healthz  — 200 while serving, 503 once draining.
+//
+// SIGINT/SIGTERM starts a graceful drain: admission stops, in-flight
+// queries finish (stragglers are cancelled after -drain), and the process
+// exits 0 on a clean shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	psi "github.com/psi-graph/psi"
+	"github.com/psi-graph/psi/internal/gen"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/rewrite"
+	"github.com/psi-graph/psi/internal/server"
+)
+
+func main() {
+	var (
+		dataFlag     = flag.String("data", "", "stored graph / dataset file (mutually exclusive with -gen)")
+		genFlag      = flag.String("gen", "", "generate the dataset: synthetic|ppi|yeast|human|wordnet")
+		scaleFlag    = flag.String("scale", "tiny", "generated dataset scale: tiny|small|medium|paper")
+		seedFlag     = flag.Int64("seed", 1, "generator seed")
+		addrFlag     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		portFileFlag = flag.String("portfile", "", "write the bound TCP port to this file once listening")
+		algosFlag    = flag.String("algos", "GQL,SPA", "NFV algorithms: GQL,SPA,QSI,VF2")
+		rewrFlag     = flag.String("rewritings", "Orig,DND", "raced rewritings: Orig,ILF,IND,DND,ILF+IND,ILF+DND")
+		modeFlag     = flag.String("mode", "race", "planning policy: race|predict|single")
+		indexFlag    = flag.String("index", "race", "dataset indexes: ftv|grapes|ggsx, a comma list, or race (all)")
+		workersFlag  = flag.Int("workers", 1, "Grapes verification worker count")
+		timeoutFlag  = flag.Duration("timeout", 10*time.Minute, "per-query kill cap (the engine budget)")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request deadline cap (0: engine budget only)")
+		inflightFlag = flag.Int("max-inflight", 0, "admission limit (0: 4 x NumCPU)")
+		cacheFlag    = flag.Int("cache", 256, "server result-cache entries (negative disables)")
+		limitFlag    = flag.Int("limit", 1000, "default embedding limit per query")
+		drainFlag    = flag.Duration("drain", 10*time.Second, "graceful-drain grace before stragglers are cancelled")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*dataFlag, *genFlag, *scaleFlag, *seedFlag)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := buildEngine(ds, *algosFlag, *rewrFlag, *modeFlag, *indexFlag, *workersFlag, *timeoutFlag)
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	srv := server.New(eng, server.Options{
+		MaxInFlight:    *inflightFlag,
+		DefaultLimit:   *limitFlag,
+		RequestTimeout: *reqTimeout,
+		CacheSize:      *cacheFlag,
+	})
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *portFileFlag != "" {
+		port := ln.Addr().(*net.TCPAddr).Port
+		if err := os.WriteFile(*portFileFlag, []byte(fmt.Sprintf("%d\n", port)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "psiserve: listening on http://%s (%s)\n", ln.Addr(), describe(eng))
+
+	httpSrv := &http.Server{Handler: srv}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "psiserve: %v — draining (grace %v)\n", sig, *drainFlag)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+		defer cancel()
+		drainErr := srv.Shutdown(dctx)
+		if err := httpSrv.Shutdown(dctx); err != nil && drainErr == nil {
+			drainErr = err
+		}
+		if drainErr != nil {
+			fmt.Fprintf(os.Stderr, "psiserve: drain cut stragglers: %v\n", drainErr)
+		} else {
+			fmt.Fprintln(os.Stderr, "psiserve: drained cleanly")
+		}
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+// loadDataset reads -data or generates -gen.
+func loadDataset(path, genKind, scaleName string, seed int64) ([]*graph.Graph, error) {
+	if (path == "") == (genKind == "") {
+		return nil, errors.New("exactly one of -data or -gen is required")
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ds, err := graph.ReadDataset(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(ds) == 0 {
+			return nil, fmt.Errorf("dataset %s is empty", path)
+		}
+		return ds, nil
+	}
+	scale, err := gen.ParseScale(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	switch genKind {
+	case "synthetic":
+		return gen.Synthetic(gen.SyntheticAt(scale), seed), nil
+	case "ppi":
+		return gen.PPI(gen.PPIAt(scale), seed), nil
+	case "yeast":
+		return []*graph.Graph{gen.YeastLike(scale, seed)}, nil
+	case "human":
+		return []*graph.Graph{gen.HumanLike(scale, seed)}, nil
+	case "wordnet":
+		return []*graph.Graph{gen.WordnetLike(scale, seed)}, nil
+	}
+	return nil, fmt.Errorf("unknown -gen kind %q", genKind)
+}
+
+// buildEngine constructs the NFV or FTV engine the dataset shape calls for.
+func buildEngine(ds []*graph.Graph, algos, rewritings, mode, indexSpec string, workers int, timeout time.Duration) (*psi.Engine, error) {
+	kinds, err := parseRewritings(rewritings)
+	if err != nil {
+		return nil, err
+	}
+	m, err := psi.ParseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	opts := psi.EngineOptions{
+		Rewritings:   kinds,
+		Mode:         m,
+		Timeout:      timeout,
+		IndexWorkers: workers,
+	}
+	if len(ds) > 1 {
+		opts.Indexes, err = psi.ParseIndexSpec(indexSpec)
+		if err != nil {
+			return nil, err
+		}
+		return psi.NewDatasetEngine(ds, opts)
+	}
+	opts.Algorithms, err = parseAlgorithms(algos)
+	if err != nil {
+		return nil, err
+	}
+	return psi.NewEngine(ds[0], opts)
+}
+
+func describe(eng *psi.Engine) string {
+	if ds := eng.Dataset(); ds != nil {
+		names := make([]string, 0, len(eng.IndexStats()))
+		for _, st := range eng.IndexStats() {
+			names = append(names, st.Name)
+		}
+		return fmt.Sprintf("FTV: %d graphs, policy=%s, indexes=%s",
+			len(ds), eng.IndexPolicy(), strings.Join(names, ","))
+	}
+	return fmt.Sprintf("NFV: %d vertices, mode=%s", eng.Graph().N(), eng.Mode())
+}
+
+func parseAlgorithms(s string) ([]psi.Algorithm, error) {
+	var algos []psi.Algorithm
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "GQL":
+			algos = append(algos, psi.GraphQL)
+		case "SPA":
+			algos = append(algos, psi.SPath)
+		case "QSI":
+			algos = append(algos, psi.QuickSI)
+		case "VF2":
+			algos = append(algos, psi.VF2)
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", name)
+		}
+	}
+	return algos, nil
+}
+
+func parseRewritings(s string) ([]rewrite.Kind, error) {
+	var kinds []rewrite.Kind
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "Or" { // the paper's figure shorthand
+			name = "Orig"
+		}
+		k, err := rewrite.ParseKind(name)
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "psiserve:", err)
+	os.Exit(1)
+}

@@ -141,6 +141,47 @@
 // filter → raced verification behind the iGQ-style result cache, unchanged.
 // Plan.IndexPolicy records which policy a planned query will run.
 //
+// # Serving architecture
+//
+// The serving subsystem (internal/server, fronted by cmd/psiserve) turns
+// one long-lived Engine into a concurrent HTTP query service. A request's
+// life is admission → plan → race → stream → drain:
+//
+// Admission. Every query claims a slot from a bounded limiter before any
+// work starts; at capacity the request is rejected immediately with HTTP
+// 429 rather than queued, so overload degrades into fast refusals instead
+// of goroutine-per-request pileups. The execution pool below remains the
+// only place CPU work queues.
+//
+// Plan and race. Admitted queries run through the Engine exactly as
+// library callers do — Plan picks the attempt or index portfolio, Execute
+// races it — with the request's context (client disconnect, the server's
+// request timeout, an explicit ?timeout_ms) flowing into the per-query
+// budget, so a deadline hit surfaces as the paper's kill (killed:true with
+// whatever already streamed), not as an opaque error.
+//
+// Stream. ?stream=1 responses are NDJSON — one line per embedding (NFV) or
+// containing graph ID (FTV), flushed as the race emits it, then a summary
+// line with winner provenance — so the first-to-emit latency the race wins
+// reaches the wire. Collected responses are single JSON objects. Complete,
+// unkilled answers land in a shared LRU result cache keyed by the
+// canonical query bytes (CanonicalQueryKey); repeat queries replay from
+// memory in either response mode, marked cached:true. Engine.Counters and
+// Engine.WinCounts feed the /stats and /metrics endpoints.
+//
+// Drain. Shutdown stops admission (new queries get 503, /healthz flips),
+// waits for in-flight queries, and past the caller's deadline cancels
+// stragglers through their request contexts — every admitted request still
+// receives its terminal line, so a drain drops no in-flight responses.
+//
+//	eng, _ := psi.NewDatasetEngine(ds, psi.EngineOptions{Indexes: psi.IndexKinds()})
+//	srv := server.New(eng, server.Options{MaxInFlight: 64})
+//	http.ListenAndServe(addr, srv) // POST /query, GET /stats, /metrics, /healthz
+//
+// See examples/serve for the full lifecycle against an in-process
+// listener, and cmd/psibench -serve for the closed-loop load generator
+// behind BENCH_serve.json.
+//
 // See examples/ for runnable programs and cmd/psibench for the experiment
 // harness that regenerates every table and figure of the paper (psibench
 // -engine benchmarks the Engine facade, including the index race).

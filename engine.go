@@ -12,7 +12,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -137,6 +139,9 @@ const (
 // ParseIndexSpec converts an -index flag value into an index-kind list:
 // a registered kind name ("ftv", "grapes", "ggsx"), a comma-separated
 // combination, or "race" for the full portfolio of all registered kinds.
+// Unregistered kinds and duplicate entries are rejected here, before any
+// dataset is loaded or index built, so a misspelt flag fails in
+// microseconds rather than after a multi-minute extraction.
 func ParseIndexSpec(s string) ([]string, error) {
 	switch s {
 	case "":
@@ -145,15 +150,26 @@ func ParseIndexSpec(s string) ([]string, error) {
 		return index.Kinds(), nil
 	}
 	var kinds []string
+	seen := map[string]bool{}
 	for _, k := range strings.Split(s, ",") {
 		k = strings.TrimSpace(k)
 		if k == "" {
 			continue
 		}
+		if seen[k] {
+			return nil, fmt.Errorf("psi: duplicate index kind %q in spec %q", k, s)
+		}
+		seen[k] = true
 		kinds = append(kinds, k)
 	}
 	if len(kinds) == 0 {
 		return nil, fmt.Errorf("psi: empty index spec %q", s)
+	}
+	registered := index.Kinds()
+	for _, k := range kinds {
+		if !slices.Contains(registered, k) {
+			return nil, fmt.Errorf("psi: unknown index kind %q (registered: %v)", k, registered)
+		}
 	}
 	return kinds, nil
 }
@@ -167,6 +183,12 @@ type Engine struct {
 	budget metrics.Budget
 	pool   *exec.Pool
 	owned  bool
+
+	// Operational counters, bumped by every executed query and snapshotted
+	// by Counters — the feed for a serving layer's /metrics endpoint.
+	counters metrics.Counters
+	winMu    sync.Mutex
+	wins     map[string]int64
 
 	// NFV state.
 	g        *Graph
@@ -241,9 +263,26 @@ func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
 		}
 		kinds = []string{k}
 	}
-	// Validate the policy before paying for the builds: extracting the
-	// features of a large dataset several times over only to report a
-	// misspelt option would be hostile.
+	// Validate the portfolio and policy before paying for the builds:
+	// extracting the features of a large dataset several times over only to
+	// report a misspelt option would be hostile — including an unknown kind
+	// *after* valid ones, which must not cost the preceding builds first.
+	// Duplicate kinds are rejected rather than deduplicated: racing an
+	// index against an identical copy of itself is never what the caller
+	// meant.
+	registered := index.Kinds()
+	seenKind := map[string]bool{}
+	for _, kind := range kinds {
+		if seenKind[kind] {
+			e.Close()
+			return nil, fmt.Errorf("psi: duplicate index kind %q in portfolio %v", kind, kinds)
+		}
+		seenKind[kind] = true
+		if !slices.Contains(registered, kind) {
+			e.Close()
+			return nil, fmt.Errorf("psi: unknown index kind %q (registered: %v)", kind, registered)
+		}
+	}
 	switch opts.IndexPolicy {
 	case "":
 		if len(kinds) >= 2 {
@@ -295,6 +334,7 @@ func newEngineCommon(opts EngineOptions) (*Engine, error) {
 		budget: metrics.Budget{Cap: opts.Timeout},
 		warmup: int64(opts.WarmupRaces),
 		solo:   opts.SoloBudget,
+		wins:   map[string]int64{},
 	}
 	if e.warmup <= 0 {
 		e.warmup = 8
@@ -373,6 +413,34 @@ func (e *Engine) CacheStats() (stats ftv.CacheStats, ok bool) {
 		return ftv.CacheStats{}, false
 	}
 	return e.cache.Stats(), true
+}
+
+// Counters returns a point-in-time snapshot of the engine's operational
+// counters: queries executed, streamed, killed, failed, attempt and index
+// fan-out totals. Safe to call while queries are in flight.
+func (e *Engine) Counters() metrics.CountersSnapshot { return e.counters.Snapshot() }
+
+// WinCounts returns a copy of the per-winner tally: how many queries each
+// attempt label ("GQL-DND") or index configuration ("Grapes/1") answered.
+// Safe to call while queries are in flight.
+func (e *Engine) WinCounts() map[string]int64 {
+	e.winMu.Lock()
+	defer e.winMu.Unlock()
+	out := make(map[string]int64, len(e.wins))
+	for k, v := range e.wins {
+		out[k] = v
+	}
+	return out
+}
+
+// recordWin tallies the winning attempt or index configuration.
+func (e *Engine) recordWin(label string) {
+	if label == "" {
+		return
+	}
+	e.winMu.Lock()
+	e.wins[label]++
+	e.winMu.Unlock()
 }
 
 // IndexPolicy reports how a dataset engine uses its filtering indexes
@@ -478,8 +546,9 @@ type QueryResult struct {
 	// Embeddings holds the matched embeddings (NFV, non-streaming
 	// execution only; streaming sends them to the sink instead).
 	Embeddings []Embedding
-	// Found is the number of embeddings surfaced, whether collected here
-	// or streamed into a sink.
+	// Found is the number of answers surfaced, whether collected here or
+	// streamed: embeddings for NFV plans, containing graph IDs for FTV
+	// plans — identical for cached replays and fresh executions alike.
 	Found int
 	// GraphIDs are the containing dataset graphs (FTV plans), ascending.
 	GraphIDs []int
@@ -556,6 +625,10 @@ func (e *Engine) execute(ctx context.Context, p *Plan, limit int, sink Sink) (*Q
 	if p.Kind == PlanFTV && sink != nil {
 		return nil, errors.New("psi: FTV plans stream graph IDs via AnswerStream, not embeddings")
 	}
+	e.counters.Queries.Add(1)
+	if sink != nil {
+		e.counters.Streamed.Add(1)
+	}
 	res := &QueryResult{Kind: p.Kind}
 	streamed := 0
 	if sink != nil {
@@ -582,6 +655,7 @@ func (e *Engine) execute(ctx context.Context, p *Plan, limit int, sink Sink) (*Q
 		res.Elapsed, res.Killed = t.Elapsed, t.Killed
 		res.Class = e.budget.Classify(t)
 		if t.Err != nil {
+			e.counters.Errors.Add(1)
 			return nil, t.Err
 		}
 		if t.Killed {
@@ -592,15 +666,34 @@ func (e *Engine) execute(ctx context.Context, p *Plan, limit int, sink Sink) (*Q
 			res.Embeddings, res.GraphIDs = nil, nil
 			res.Found = streamed
 		}
+		e.tally(res)
 		return res, nil
 	}
 	start := time.Now()
 	err := run(ctx)
 	res.Elapsed = time.Since(start)
 	if err != nil {
+		e.counters.Errors.Add(1)
 		return nil, err
 	}
+	e.tally(res)
 	return res, nil
+}
+
+// tally folds one finished (possibly killed) result into the engine's
+// operational counters.
+func (e *Engine) tally(res *QueryResult) {
+	if res.Killed {
+		e.counters.Killed.Add(1)
+	}
+	e.recordWin(res.Winner)
+	if n := len(res.IndexAttempts); n > 0 {
+		e.counters.IndexRaces.Add(1)
+		e.counters.IndexAttempts.Add(int64(n))
+	}
+	if res.FellBack {
+		e.counters.Fallbacks.Add(1)
+	}
 }
 
 // runRace executes a full (or fixed single-attempt) race, observing the
@@ -610,6 +703,7 @@ func (e *Engine) runRace(ctx context.Context, q *Graph, attempts []Attempt, limi
 		r   core.Result
 		err error
 	)
+	e.counters.RaceAttempts.Add(int64(len(attempts)))
 	if sink != nil {
 		r, err = e.racer.RaceStream(ctx, q, limit, attempts, sink)
 	} else {
@@ -636,6 +730,7 @@ func (e *Engine) runRace(ctx context.Context, q *Graph, attempts []Attempt, limi
 func (e *Engine) runPredicted(ctx context.Context, p *Plan, limit int, sink Sink, res *QueryResult) error {
 	soloCtx, cancel := context.WithTimeout(ctx, e.solo)
 	defer cancel()
+	e.counters.RaceAttempts.Add(1)
 	att := e.attempts[p.Predicted : p.Predicted+1]
 	var (
 		r       core.Result
@@ -655,6 +750,7 @@ func (e *Engine) runPredicted(ctx context.Context, p *Plan, limit int, sink Sink
 		res.Embeddings = r.Embeddings
 		res.Found = r.Found
 		res.Winner = att[0].Label()
+		e.counters.PredictedSolo.Add(1)
 		e.model.Observe(p.features, p.Predicted)
 		return nil
 	}
@@ -679,6 +775,7 @@ func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
 			return err
 		}
 		res.GraphIDs = r.GraphIDs
+		res.Found = len(r.GraphIDs)
 		res.Winner = r.Winner
 		res.IndexAttempts = r.Attempts
 		return nil
@@ -698,8 +795,14 @@ func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
 		return err
 	}
 	res.GraphIDs = ids
+	res.Found = len(ids)
 	return nil
 }
+
+// ErrKilled reports a streamed query that hit the engine's per-query kill
+// cap after part of its answer had already been emitted. Result-bearing
+// paths report the kill through QueryResult.Killed instead.
+var ErrKilled = errors.New("psi: query killed by the per-query budget")
 
 // AnswerStream streams a dataset engine's containment answer: each
 // containing graph ID is handed to emit as soon as its verification — and
@@ -708,14 +811,75 @@ func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
 // runs on verification goroutines under an internal lock and must not
 // block (in particular, not on work that only proceeds after AnswerStream
 // returns). The stream bypasses the result cache (a partial answer must
-// not be remembered as complete).
+// not be remembered as complete). On an engine with a per-query budget, a
+// query that hits the cap returns ErrKilled: this signature has no result
+// to carry the kill marker, and a truncated ID stream must not read as a
+// complete answer. Use AnswerStreamResult to observe kills as data.
 func (e *Engine) AnswerStream(ctx context.Context, q *Graph, emit func(graphID int) bool) error {
-	if e.ixRacer != nil {
-		_, err := e.ixRacer.AnswerStream(ctx, q, emit)
+	res, err := e.AnswerStreamResult(ctx, q, emit)
+	if err != nil {
 		return err
 	}
-	if e.ftvRacer == nil {
-		return errors.New("psi: AnswerStream requires a dataset engine")
+	if res.Killed {
+		return ErrKilled
 	}
-	return e.ftvRacer.AnswerStream(ctx, q, emit)
+	return nil
+}
+
+// AnswerStreamResult is AnswerStream with the execution report a serving
+// layer needs alongside the stream: the winning index configuration, the
+// per-index attempts of a raced query, the measured time and — when the
+// engine has a per-query deadline — the kill marker, with Found keeping the
+// count of graph IDs that irrevocably reached emit before the kill. The
+// result's GraphIDs stays nil; the IDs go to emit.
+func (e *Engine) AnswerStreamResult(ctx context.Context, q *Graph, emit func(graphID int) bool) (*QueryResult, error) {
+	if e.ixRacer == nil && e.ftvRacer == nil {
+		return nil, errors.New("psi: AnswerStream requires a dataset engine")
+	}
+	if emit == nil {
+		return nil, errors.New("psi: AnswerStream requires an emit function")
+	}
+	e.counters.Queries.Add(1)
+	e.counters.Streamed.Add(1)
+	res := &QueryResult{Kind: PlanFTV}
+	streamed := 0
+	counting := func(id int) bool {
+		streamed++
+		return emit(id)
+	}
+	run := func(runCtx context.Context) error {
+		if e.ixRacer != nil {
+			r, err := e.ixRacer.AnswerStream(runCtx, q, counting)
+			if err != nil {
+				return err
+			}
+			res.Winner = r.Winner
+			res.IndexAttempts = r.Attempts
+			return nil
+		}
+		res.Winner = e.ftvRacer.Name()
+		return e.ftvRacer.AnswerStream(runCtx, q, counting)
+	}
+	if e.budget.Cap > 0 {
+		t := e.budget.Run(ctx, run)
+		res.Elapsed, res.Killed = t.Elapsed, t.Killed
+		res.Class = e.budget.Classify(t)
+		if t.Err != nil {
+			e.counters.Errors.Add(1)
+			return nil, t.Err
+		}
+		res.Found = streamed
+		e.tally(res)
+		return res, nil
+	}
+	start := time.Now()
+	err := run(ctx)
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		e.counters.Errors.Add(1)
+		return nil, err
+	}
+	res.Found = streamed
+	e.tally(res)
+	return res, nil
 }

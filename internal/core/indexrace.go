@@ -118,19 +118,19 @@ func (r *IndexRacer) Name() string {
 // IndexAttempt reports one index's run inside a race.
 type IndexAttempt struct {
 	// Name is the index's instance name, e.g. "Grapes/1".
-	Name string
+	Name string `json:"name"`
 	// Winner marks the attempt whose output stream was adopted.
-	Winner bool
+	Winner bool `json:"winner"`
 	// Cancelled marks a loser that was cut off after the winner emitted.
-	Cancelled bool
+	Cancelled bool `json:"cancelled"`
 	// Emitted is how many verified graph IDs the attempt surfaced (only
 	// the winner emits into the caller's stream).
-	Emitted int
+	Emitted int `json:"emitted"`
 	// Elapsed is the attempt's wall-clock time from race start until it
 	// finished or was cancelled.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// Err records a loser's non-cancellation failure, empty otherwise.
-	Err string
+	Err string `json:"err,omitempty"`
 }
 
 // IndexRaceResult is the outcome of one index race.

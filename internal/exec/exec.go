@@ -119,6 +119,56 @@ func (p *Pool) Go(task func()) {
 	}
 }
 
+// Limiter is a bounded admission gate: a fixed number of in-flight slots
+// with non-blocking acquisition. It is the front door a serving layer puts
+// in front of the pool — where Group bounds how much admitted work runs at
+// once, Limiter bounds how much work is admitted at all, rejecting the
+// overflow immediately (a 429, not a queue) so overload degrades into fast
+// refusals instead of unbounded goroutines and memory.
+type Limiter struct {
+	slots chan struct{}
+}
+
+// NewLimiter returns a limiter with n in-flight slots; n <= 0 selects
+// 4 × runtime.NumCPU(), a serving-friendly multiple of the pool size (most
+// of a query's wall-clock is spent waiting on pooled work, so admitting a
+// few queries per worker keeps the pool busy without letting the backlog
+// grow without bound).
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		n = 4 * runtime.NumCPU()
+	}
+	return &Limiter{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot if one is free, without blocking. Every
+// successful TryAcquire must be paired with exactly one Release.
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire. Releasing more than was
+// acquired panics: it means an accounting bug that would silently raise the
+// admission limit.
+func (l *Limiter) Release() {
+	select {
+	case <-l.slots:
+	default:
+		panic("exec: Limiter.Release without a matching TryAcquire")
+	}
+}
+
+// InFlight reports the number of currently claimed slots.
+func (l *Limiter) InFlight() int { return len(l.slots) }
+
+// Cap reports the total number of slots.
+func (l *Limiter) Cap() int { return cap(l.slots) }
+
 // Group runs a batch of tasks on the pool with hard-bounded concurrency
 // (at most the pool's worker count in flight) and joins their outcomes.
 // The first task error — including a recovered panic — cancels the group's

@@ -254,3 +254,79 @@ func TestPoolCloseStopsWorkers(t *testing.T) {
 		t.Errorf("goroutines after Close: %d, want <= %d", n, before+1)
 	}
 }
+
+// TestLimiterAdmission verifies the bounded-admission contract: exactly Cap
+// slots, the Cap+1st TryAcquire rejected, slots reusable after Release.
+func TestLimiterAdmission(t *testing.T) {
+	l := NewLimiter(3)
+	if l.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", l.Cap())
+	}
+	for i := 0; i < 3; i++ {
+		if !l.TryAcquire() {
+			t.Fatalf("TryAcquire %d rejected below the limit", i)
+		}
+	}
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire succeeded beyond the limit")
+	}
+	if l.InFlight() != 3 {
+		t.Fatalf("InFlight = %d, want 3", l.InFlight())
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire rejected after Release freed a slot")
+	}
+}
+
+// TestLimiterDefaultCap verifies n <= 0 selects the serving default.
+func TestLimiterDefaultCap(t *testing.T) {
+	if got, want := NewLimiter(0).Cap(), 4*runtime.NumCPU(); got != want {
+		t.Errorf("default Cap = %d, want %d", got, want)
+	}
+}
+
+// TestLimiterReleaseUnderflowPanics verifies the accounting guard.
+func TestLimiterReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Release without TryAcquire did not panic")
+		}
+	}()
+	NewLimiter(1).Release()
+}
+
+// TestLimiterConcurrent hammers the limiter from many goroutines and checks
+// the in-flight count never exceeds the cap.
+func TestLimiterConcurrent(t *testing.T) {
+	l := NewLimiter(4)
+	var over atomic.Bool
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if !l.TryAcquire() {
+					continue
+				}
+				admitted.Add(1)
+				if l.InFlight() > l.Cap() {
+					over.Store(true)
+				}
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if over.Load() {
+		t.Error("in-flight count exceeded the cap")
+	}
+	if admitted.Load() == 0 {
+		t.Error("no acquisition ever succeeded")
+	}
+	if l.InFlight() != 0 {
+		t.Errorf("slots leaked: InFlight = %d after all releases", l.InFlight())
+	}
+}

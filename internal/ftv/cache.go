@@ -122,7 +122,7 @@ func (c *Cached) Len() int {
 // Answer runs the decision pipeline with cache assistance and remembers the
 // result. Answers are identical to the uncached pipeline.
 func (c *Cached) Answer(ctx context.Context, q *graph.Graph) ([]int, error) {
-	key := canonicalKey(q)
+	key := CanonicalKey(q)
 	// Exact hit?
 	c.mu.Lock()
 	for _, e := range c.entries {
@@ -244,12 +244,12 @@ func containedIn(ctx context.Context, q1, q2 *graph.Graph) (bool, error) {
 	return len(embs) > 0, nil
 }
 
-// canonicalKey serializes q after a deterministic structure-driven vertex
+// CanonicalKey serializes q after a deterministic structure-driven vertex
 // ordering. It is *not* a complete canonical form (graph canonization is
 // GI-hard): isomorphic queries may receive different keys — a missed hit,
 // never a wrong one — while unequal keys always denote unequal serialized
 // structures, so exact hits are sound.
-func canonicalKey(q *graph.Graph) string {
+func CanonicalKey(q *graph.Graph) string {
 	n := q.N()
 	order := make([]int, n)
 	for i := range order {

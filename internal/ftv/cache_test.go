@@ -228,12 +228,12 @@ func TestCanonicalKeyProperties(t *testing.T) {
 	// isomorphic graphs with this simple shape get the same key
 	a := graph.MustNew("a", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {1, 2}})
 	b := graph.MustNew("b", []graph.Label{2, 1, 0}, [][2]int{{0, 1}, {1, 2}})
-	if canonicalKey(a) != canonicalKey(b) {
+	if CanonicalKey(a) != CanonicalKey(b) {
 		t.Error("relabeled path should share a canonical key")
 	}
 	// different structure must differ
 	c := graph.MustNew("c", []graph.Label{0, 1, 2}, [][2]int{{0, 1}, {0, 2}})
-	if canonicalKey(a) == canonicalKey(c) {
+	if CanonicalKey(a) == CanonicalKey(c) {
 		t.Error("different structures must have different keys")
 	}
 	// edge labels distinguish keys
@@ -245,7 +245,7 @@ func TestCanonicalKeyProperties(t *testing.T) {
 	}
 	d := bb.MustBuild()
 	e := graph.MustNew("e", []graph.Label{0, 1}, [][2]int{{0, 1}})
-	if canonicalKey(d) == canonicalKey(e) {
+	if CanonicalKey(d) == CanonicalKey(e) {
 		t.Error("edge labels must affect the key")
 	}
 }

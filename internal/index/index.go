@@ -60,25 +60,27 @@ type FilterStreamer interface {
 	FilterStream(ctx context.Context, q *graph.Graph, emit func(graphID int) bool) error
 }
 
-// Stats describes a built index.
+// Stats describes a built index. The json tags fix the serialized schema
+// (snake_case, durations as nanoseconds) shared by the /stats endpoint and
+// the generated BENCH_*.json documents.
 type Stats struct {
 	// Name is the instance name as reported by Index.Name.
-	Name string
+	Name string `json:"name"`
 	// Kind is the registered builder kind ("ftv", "grapes", "ggsx").
-	Kind string
+	Kind string `json:"kind"`
 	// Graphs is the number of indexed dataset graphs.
-	Graphs int
+	Graphs int `json:"graphs"`
 	// MaxPathLen is the maximum indexed path length in edges.
-	MaxPathLen int
+	MaxPathLen int `json:"max_path_len"`
 	// Features is the number of distinct indexed path features.
-	Features int
+	Features int `json:"features"`
 	// Nodes is the size of the backing structure (trie/suffix-trie nodes,
 	// or hash-map entries for the flat path index).
-	Nodes int
+	Nodes int `json:"nodes"`
 	// BuildTime is the wall-clock construction time.
-	BuildTime time.Duration
+	BuildTime time.Duration `json:"build_ns"`
 	// BuildWorkers is the extraction parallelism the build ran with.
-	BuildWorkers int
+	BuildWorkers int `json:"build_workers"`
 }
 
 // Options configures Build.

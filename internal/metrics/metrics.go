@@ -11,6 +11,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -102,6 +103,67 @@ func (b Budget) Run(ctx context.Context, fn func(ctx context.Context) error) Tim
 		elapsed = b.Cap
 	}
 	return Timing{Elapsed: elapsed, Err: err}
+}
+
+// Counters is the set of monotonic execution counters a long-lived query
+// engine accumulates across its lifetime — the operational face of the
+// paper's per-query measurements. Every field is updated atomically, so one
+// Counters value may be bumped from any number of concurrently executing
+// queries and snapshotted at any time (a serving layer's /metrics endpoint
+// reads it while queries are in flight). The zero value is ready to use.
+type Counters struct {
+	// Queries counts executed queries (collected and streamed alike).
+	Queries atomic.Int64
+	// Streamed counts the subset of Queries that ran in streaming mode.
+	Streamed atomic.Int64
+	// Killed counts queries that hit the per-query kill cap.
+	Killed atomic.Int64
+	// Errors counts queries that failed with a non-deadline error.
+	Errors atomic.Int64
+	// RaceAttempts counts matcher attempts started inside Ψ races (the
+	// per-query attempt portfolio size, summed over queries).
+	RaceAttempts atomic.Int64
+	// PredictedSolo counts predicted single-attempt runs that completed
+	// within their solo budget.
+	PredictedSolo atomic.Int64
+	// Fallbacks counts predicted runs that overran the solo budget and
+	// fell back to a full race.
+	Fallbacks atomic.Int64
+	// IndexRaces counts dataset queries answered by racing the full
+	// filtering-index portfolio.
+	IndexRaces atomic.Int64
+	// IndexAttempts counts filtering-index pipelines started inside index
+	// races (portfolio size summed over raced queries).
+	IndexAttempts atomic.Int64
+}
+
+// CountersSnapshot is a plain-value copy of Counters, safe to serialize.
+type CountersSnapshot struct {
+	Queries       int64 `json:"queries"`
+	Streamed      int64 `json:"streamed"`
+	Killed        int64 `json:"killed"`
+	Errors        int64 `json:"errors"`
+	RaceAttempts  int64 `json:"race_attempts"`
+	PredictedSolo int64 `json:"predicted_solo"`
+	Fallbacks     int64 `json:"fallbacks"`
+	IndexRaces    int64 `json:"index_races"`
+	IndexAttempts int64 `json:"index_attempts"`
+}
+
+// Snapshot returns a point-in-time copy of every counter. Counters keep
+// moving while the snapshot is taken; each field is individually exact.
+func (c *Counters) Snapshot() CountersSnapshot {
+	return CountersSnapshot{
+		Queries:       c.Queries.Load(),
+		Streamed:      c.Streamed.Load(),
+		Killed:        c.Killed.Load(),
+		Errors:        c.Errors.Load(),
+		RaceAttempts:  c.RaceAttempts.Load(),
+		PredictedSolo: c.PredictedSolo.Load(),
+		Fallbacks:     c.Fallbacks.Load(),
+		IndexRaces:    c.IndexRaces.Load(),
+		IndexAttempts: c.IndexAttempts.Load(),
+	}
 }
 
 // Summary holds the descriptive statistics the paper tabulates for its

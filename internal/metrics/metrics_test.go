@@ -250,3 +250,38 @@ func TestTimingSeconds(t *testing.T) {
 		t.Errorf("Seconds = %f", tm.Seconds())
 	}
 }
+
+// TestCountersSnapshot verifies concurrent bumps are all accounted and the
+// snapshot is a plain copy.
+func TestCountersSnapshot(t *testing.T) {
+	var c Counters
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				c.Queries.Add(1)
+				c.RaceAttempts.Add(2)
+				if i%5 == 0 {
+					c.Killed.Add(1)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	s := c.Snapshot()
+	if s.Queries != 8*500 {
+		t.Errorf("Queries = %d, want %d", s.Queries, 8*500)
+	}
+	if s.RaceAttempts != 8*1000 {
+		t.Errorf("RaceAttempts = %d, want %d", s.RaceAttempts, 8*1000)
+	}
+	if s.Killed != 8*100 {
+		t.Errorf("Killed = %d, want %d", s.Killed, 8*100)
+	}
+	if s.Streamed != 0 || s.Errors != 0 || s.Fallbacks != 0 {
+		t.Error("untouched counters must snapshot to zero")
+	}
+}

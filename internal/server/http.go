@@ -1,0 +1,477 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	psi "github.com/psi-graph/psi"
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/graph"
+)
+
+// queryRequest is the parsed request envelope around the query graph.
+type queryRequest struct {
+	limit   int  // embedding limit (NFV); <= 0 means decision
+	stream  bool // NDJSON streaming response
+	cache   bool // consult/fill the result cache
+	timeout time.Duration
+}
+
+// QueryResponse is the non-streamed /query response schema. The streamed
+// variant sends `{"embedding":[...]}` / `{"graph_id":N}` lines followed by
+// one StreamSummary line.
+type QueryResponse struct {
+	Query      string          `json:"query"`
+	Kind       string          `json:"kind"`
+	Winner     string          `json:"winner,omitempty"`
+	Found      int             `json:"found"`
+	Embeddings []psi.Embedding `json:"embeddings,omitempty"`
+	GraphIDs   []int           `json:"graph_ids,omitempty"`
+	ElapsedUS  int64           `json:"elapsed_us"`
+	Killed     bool            `json:"killed,omitempty"`
+	FellBack   bool            `json:"fell_back,omitempty"`
+	Cached     bool            `json:"cached,omitempty"`
+}
+
+// StreamSummary is the final NDJSON line of a streamed /query response.
+// Exactly one of Done/Error is set: a summary with Error reports a query
+// that failed after the preceding lines were already on the wire.
+type StreamSummary struct {
+	Done      bool   `json:"done,omitempty"`
+	Found     int    `json:"found"`
+	Winner    string `json:"winner,omitempty"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	Killed    bool   `json:"killed,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// errorResponse is the JSON error envelope for rejected requests.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// parseQueryRequest decodes the envelope and the query graph (request body,
+// module text format, exactly one graph).
+func (s *Server) parseQueryRequest(r *http.Request) (queryRequest, *psi.Graph, int, error) {
+	req := queryRequest{limit: s.opts.DefaultLimit, cache: true}
+	qp := r.URL.Query()
+	if v := qp.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return req, nil, http.StatusBadRequest, fmt.Errorf("bad limit %q", v)
+		}
+		req.limit = n
+	}
+	req.stream = isTrue(qp.Get("stream"))
+	if v := qp.Get("cache"); v != "" {
+		req.cache = isTrue(v)
+	}
+	if v := qp.Get("timeout_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			return req, nil, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q", v)
+		}
+		req.timeout = time.Duration(ms) * time.Millisecond
+	}
+	body := http.MaxBytesReader(nil, r.Body, s.opts.MaxBodyBytes)
+	graphs, err := graph.ReadDataset(body)
+	if err != nil {
+		return req, nil, http.StatusBadRequest, fmt.Errorf("parsing query graph: %w", err)
+	}
+	if len(graphs) != 1 {
+		return req, nil, http.StatusBadRequest, fmt.Errorf("want exactly 1 query graph in the body, got %d", len(graphs))
+	}
+	return req, graphs[0], 0, nil
+}
+
+func isTrue(v string) bool {
+	switch v {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// cacheKey derives the shared-cache key: the canonical query bytes plus the
+// parameters that change the answer. FTV answers ignore the limit, so all
+// limits share one entry; NFV limits <= 0 all mean "decision, first match"
+// and collapse to one sentinel so equivalent requests hit each other.
+func (s *Server) cacheKey(q *psi.Graph, limit int) string {
+	if s.eng.Dataset() != nil {
+		limit = 0
+	} else if limit <= 0 {
+		limit = -1
+	}
+	return fmt.Sprintf("l%d|%s", limit, psi.CanonicalQueryKey(q))
+}
+
+// handleQuery is the /query endpoint: admission, parse, cache lookup, then
+// a collected JSON answer or an NDJSON stream.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	release, status := s.admit()
+	if status != 0 {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+			writeJSONError(w, status, fmt.Sprintf("server at capacity (%d in flight)", s.lim.Cap()))
+		} else {
+			writeJSONError(w, status, "server is draining")
+		}
+		return
+	}
+	defer release()
+
+	req, q, errStatus, err := s.parseQueryRequest(r)
+	if err != nil {
+		writeJSONError(w, errStatus, err.Error())
+		return
+	}
+	if s.admittedHook != nil {
+		s.admittedHook(r.Context())
+	}
+	ctx, cancel := s.requestContext(r, s.effectiveTimeout(req.timeout))
+	defer cancel()
+
+	key := ""
+	if s.cache != nil && req.cache {
+		key = s.cacheKey(q, req.limit)
+		if ans, ok := s.cache.get(key); ok {
+			s.respondCached(ctx, w, req, q, ans)
+			return
+		}
+	}
+	if req.stream {
+		s.streamQuery(ctx, w, req, q, key)
+		return
+	}
+	s.collectQuery(ctx, w, req, q, key)
+}
+
+// collectQuery runs the plan to completion and answers with one JSON object.
+func (s *Server) collectQuery(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, key string) {
+	res, err := s.eng.Query(ctx, q, req.limit)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	if key != "" && !res.Killed {
+		s.cache.put(key, answerFromResult(res))
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Query:      q.Name(),
+		Kind:       string(res.Kind),
+		Winner:     res.Winner,
+		Found:      res.Found,
+		Embeddings: res.Embeddings,
+		GraphIDs:   res.GraphIDs,
+		ElapsedUS:  res.Elapsed.Microseconds(),
+		Killed:     res.Killed,
+		FellBack:   res.FellBack,
+	})
+}
+
+// writeQueryError maps an execution error onto an HTTP status: deadline
+// overruns on engines without a budget become 504, everything else 500.
+// (With a budget configured, deadline hits are killed results, not errors.)
+func writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusGatewayTimeout
+	}
+	writeJSONError(w, status, err.Error())
+}
+
+// writeUnblockGrace is how long after its context is cancelled a streamed
+// response may keep writing. Long enough for a live, reading client to
+// receive its terminal summary/error line (the zero-dropped-responses
+// drain contract); short enough that a client that stopped reading cannot
+// pin an admission slot or stall Shutdown beyond it.
+const writeUnblockGrace = time.Second
+
+// lineWriter writes NDJSON lines, flushing each one so streamed results
+// reach the client as the race emits them. A write error (client gone)
+// latches: subsequent writes are dropped and failed() reports it.
+//
+// Writes can block indefinitely on a client that stops reading — w.Write
+// does not observe context cancellation — which would pin the admission
+// slot and stall a drain. newLineWriter therefore arms a near-term write
+// deadline the moment ctx is cancelled (client disconnect, per-request
+// timeout, or Shutdown cutting stragglers): a blocked write errors within
+// writeUnblockGrace and the handler unwinds, while a live client still
+// receives the terminal line its drained query owes it. Callers must
+// release() when done writing.
+type lineWriter struct {
+	w      http.ResponseWriter
+	rc     *http.ResponseController
+	stop   func() bool
+	broken bool
+}
+
+func newLineWriter(ctx context.Context, w http.ResponseWriter) *lineWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	lw := &lineWriter{w: w, rc: rc}
+	lw.stop = context.AfterFunc(ctx, func() {
+		_ = rc.SetWriteDeadline(time.Now().Add(writeUnblockGrace))
+	})
+	return lw
+}
+
+// release detaches the cancellation hook once the response is complete; if
+// the hook already fired (the request context ended before the response
+// did), the armed deadline is cleared so a keep-alive connection is not
+// poisoned for its next request.
+func (lw *lineWriter) release() {
+	if !lw.stop() {
+		_ = lw.rc.SetWriteDeadline(time.Time{})
+	}
+}
+
+// writeLine sends one line (v marshals to a JSON object) and reports
+// whether the client is still there.
+func (lw *lineWriter) writeLine(v any) bool {
+	if lw.broken {
+		return false
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		lw.broken = true
+		return false
+	}
+	b = append(b, '\n')
+	if _, err := lw.w.Write(b); err != nil {
+		lw.broken = true
+		return false
+	}
+	_ = lw.rc.Flush()
+	return true
+}
+
+func (lw *lineWriter) failed() bool { return lw.broken }
+
+// embeddingLine / graphIDLine are the two streamed result-line shapes.
+type embeddingLine struct {
+	Embedding psi.Embedding `json:"embedding"`
+}
+type graphIDLine struct {
+	GraphID int `json:"graph_id"`
+}
+
+// streamQuery answers with NDJSON: result lines as the engine emits them,
+// then a summary line. Complete unkilled answers fill the result cache, so
+// repeat queries replay from memory in either response mode.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, key string) {
+	lw := newLineWriter(ctx, w)
+	defer lw.release()
+	var (
+		res *psi.QueryResult
+		err error
+		ans *cachedAnswer
+	)
+	if s.eng.Dataset() != nil {
+		a := &cachedAnswer{ftv: true}
+		res, err = s.eng.AnswerStreamResult(ctx, q, func(id int) bool {
+			a.graphIDs = append(a.graphIDs, id)
+			return lw.writeLine(graphIDLine{GraphID: id})
+		})
+		ans = a
+	} else {
+		a := &cachedAnswer{}
+		res, err = s.eng.QueryStream(ctx, q, req.limit, psi.SinkFunc(func(e psi.Embedding) bool {
+			a.embeddings = append(a.embeddings, e)
+			return lw.writeLine(embeddingLine{Embedding: e})
+		}))
+		ans = a
+	}
+	if err != nil {
+		lw.writeLine(StreamSummary{Error: err.Error()})
+		return
+	}
+	ans.kind = string(res.Kind)
+	ans.winner = res.Winner
+	ans.found = res.Found
+	if key != "" && !res.Killed && !lw.failed() {
+		s.cache.put(key, ans)
+	}
+	lw.writeLine(StreamSummary{
+		Done:      true,
+		Found:     res.Found,
+		Winner:    res.Winner,
+		ElapsedUS: res.Elapsed.Microseconds(),
+		Killed:    res.Killed,
+	})
+}
+
+// respondCached replays a remembered answer in the requested response mode.
+func (s *Server) respondCached(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, ans *cachedAnswer) {
+	if req.stream {
+		lw := newLineWriter(ctx, w)
+		defer lw.release()
+		if ans.ftv {
+			for _, id := range ans.graphIDs {
+				if !lw.writeLine(graphIDLine{GraphID: id}) {
+					return
+				}
+			}
+		} else {
+			for _, e := range ans.embeddings {
+				if !lw.writeLine(embeddingLine{Embedding: e}) {
+					return
+				}
+			}
+		}
+		lw.writeLine(StreamSummary{Done: true, Found: ans.found, Winner: ans.winner, Cached: true})
+		return
+	}
+	resp := QueryResponse{
+		Query:  q.Name(),
+		Kind:   ans.kind,
+		Winner: ans.winner,
+		Found:  ans.found,
+		Cached: true,
+	}
+	if ans.ftv {
+		resp.GraphIDs = ans.graphIDs
+	} else {
+		resp.Embeddings = ans.embeddings
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// answerFromResult converts a collected execution into a cache entry.
+func answerFromResult(res *psi.QueryResult) *cachedAnswer {
+	a := &cachedAnswer{kind: string(res.Kind), winner: res.Winner, found: res.Found}
+	if res.Kind == psi.PlanFTV {
+		a.ftv = true
+		a.graphIDs = res.GraphIDs
+	} else {
+		a.embeddings = res.Embeddings
+	}
+	return a
+}
+
+// StatsResponse is the /stats JSON schema: one consistent snapshot of the
+// serving layer and the engine beneath it.
+type StatsResponse struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Mode          string             `json:"mode"`
+	IndexPolicy   string             `json:"index_policy,omitempty"`
+	DatasetGraphs int                `json:"dataset_graphs,omitempty"`
+	Draining      bool               `json:"draining"`
+	InFlight      int                `json:"in_flight"`
+	Capacity      int                `json:"capacity"`
+	Admitted      int64              `json:"admitted"`
+	Rejected      int64              `json:"rejected"`
+	Unavailable   int64              `json:"unavailable"`
+	Engine        psi.EngineCounters `json:"engine"`
+	Wins          map[string]int64   `json:"wins,omitempty"`
+	Indexes       []psi.IndexStats   `json:"indexes,omitempty"`
+	EngineCache   *ftv.CacheStats    `json:"engine_cache,omitempty"`
+	ResultCache   *cacheCounters     `json:"result_cache,omitempty"`
+}
+
+// Stats assembles the snapshot served at /stats.
+func (s *Server) Stats() StatsResponse {
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Mode:          string(s.eng.Mode()),
+		IndexPolicy:   s.eng.IndexPolicy(),
+		DatasetGraphs: len(s.eng.Dataset()),
+		Draining:      s.Draining(),
+		InFlight:      s.lim.InFlight(),
+		Capacity:      s.lim.Cap(),
+		Admitted:      s.admitted.Load(),
+		Rejected:      s.rejected.Load(),
+		Unavailable:   s.unavailable.Load(),
+		Engine:        s.eng.Counters(),
+		Wins:          s.eng.WinCounts(),
+		Indexes:       s.eng.IndexStats(),
+	}
+	if cs, ok := s.eng.CacheStats(); ok {
+		resp.EngineCache = &cs
+	}
+	if s.cache != nil {
+		cc := s.cache.counters()
+		resp.ResultCache = &cc
+	}
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics serves the same counters in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(name string, v any) {
+		fmt.Fprintf(w, "%s %v\n", name, v)
+	}
+	p("psi_server_uptime_seconds", st.UptimeSeconds)
+	p("psi_server_in_flight", st.InFlight)
+	p("psi_server_capacity", st.Capacity)
+	p("psi_server_admitted_total", st.Admitted)
+	p("psi_server_rejected_total", st.Rejected)
+	p("psi_server_unavailable_total", st.Unavailable)
+	draining := 0
+	if st.Draining {
+		draining = 1
+	}
+	p("psi_server_draining", draining)
+	p("psi_engine_queries_total", st.Engine.Queries)
+	p("psi_engine_streamed_total", st.Engine.Streamed)
+	p("psi_engine_killed_total", st.Engine.Killed)
+	p("psi_engine_errors_total", st.Engine.Errors)
+	p("psi_engine_race_attempts_total", st.Engine.RaceAttempts)
+	p("psi_engine_predicted_solo_total", st.Engine.PredictedSolo)
+	p("psi_engine_fallbacks_total", st.Engine.Fallbacks)
+	p("psi_engine_index_races_total", st.Engine.IndexRaces)
+	p("psi_engine_index_attempts_total", st.Engine.IndexAttempts)
+	winners := make([]string, 0, len(st.Wins))
+	for name := range st.Wins {
+		winners = append(winners, name)
+	}
+	sort.Strings(winners)
+	for _, name := range winners {
+		fmt.Fprintf(w, "psi_engine_wins_total{winner=%q} %d\n", name, st.Wins[name])
+	}
+	if st.EngineCache != nil {
+		p("psi_engine_cache_exact_hits_total", st.EngineCache.ExactHits)
+		p("psi_engine_cache_sub_prunes_total", st.EngineCache.SubPrunes)
+		p("psi_engine_cache_super_accepts_total", st.EngineCache.SuperAccepts)
+		p("psi_engine_cache_verifications_total", st.EngineCache.Verifications)
+		p("psi_engine_cache_misses_total", st.EngineCache.Misses)
+	}
+	if st.ResultCache != nil {
+		p("psi_server_cache_hits_total", st.ResultCache.Hits)
+		p("psi_server_cache_misses_total", st.ResultCache.Misses)
+		p("psi_server_cache_entries", st.ResultCache.Entries)
+	}
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSONError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

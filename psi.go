@@ -16,6 +16,7 @@ import (
 	"github.com/psi-graph/psi/internal/graph"
 	indexpkg "github.com/psi-graph/psi/internal/index"
 	"github.com/psi-graph/psi/internal/match"
+	"github.com/psi-graph/psi/internal/metrics"
 	"github.com/psi-graph/psi/internal/quicksi"
 	"github.com/psi-graph/psi/internal/rewrite"
 	"github.com/psi-graph/psi/internal/spath"
@@ -70,6 +71,9 @@ type (
 	IndexRacer = core.IndexRacer
 	// FTVRacer races query rewritings inside FTV verification.
 	FTVRacer = core.FTVRacer
+	// EngineCounters is a snapshot of an Engine's operational counters
+	// (queries, kills, attempt fan-out); see Engine.Counters.
+	EngineCounters = metrics.CountersSnapshot
 )
 
 // Rewriting identifies one of the paper's query rewritings.
@@ -204,6 +208,15 @@ func MapEmbeddingBack(emb Embedding, perm Permutation) Embedding {
 func VerifyEmbedding(q, g *Graph, emb Embedding) error {
 	return match.VerifyEmbedding(q, g, emb)
 }
+
+// CanonicalQueryKey serializes q after a deterministic structure-driven
+// vertex ordering — the cache key the iGQ-style result cache and the
+// serving layer's shared result cache agree on. It is not a complete
+// canonical form (graph canonization is GI-hard): isomorphic queries may
+// receive different keys — a missed cache hit, never a wrong one — while
+// equal keys always denote identical serialized structures, so exact hits
+// are sound.
+func CanonicalQueryKey(q *Graph) string { return ftv.CanonicalKey(q) }
 
 // NewGrapes builds a Grapes index (path trie with location information)
 // over a dataset, with the given verification worker-pool size (the paper's

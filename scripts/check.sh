@@ -37,4 +37,51 @@ echo "== index build + race smoke =="
 # indexes would miss.
 go run ./cmd/psibench -engine -index=race -scale=tiny -queries 4
 
+echo "== serve smoke =="
+# End-to-end over the real binary: start psiserve on a random port over a
+# tiny generated dataset, issue one streamed and one cached query with
+# curl, then SIGTERM and assert a graceful zero-exit drain. Catches wiring
+# breakage (flags, listener, portfile, signal handling) that the
+# internal/server unit tests, which drive the handler in-process, cannot.
+tmpdir=$(mktemp -d)
+serve_pid=""
+# `|| true` twice over: under set -e a failing command at the end of the
+# trap's AND-list would override the script's real exit status.
+trap '{ [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true; } ; rm -rf "$tmpdir" || true' EXIT
+go build -o "$tmpdir/psiserve" ./cmd/psiserve
+go run ./cmd/psigen -dataset ppi -scale tiny -seed 1 \
+    -out "$tmpdir/ds.txt" -queries 1 -sizes 4 -qout "$tmpdir/q.txt"
+"$tmpdir/psiserve" -data "$tmpdir/ds.txt" -index ftv \
+    -addr 127.0.0.1:0 -portfile "$tmpdir/port" 2> "$tmpdir/serve.log" &
+serve_pid=$!
+for _ in $(seq 100); do [ -s "$tmpdir/port" ] && break; sleep 0.1; done
+port=$(cat "$tmpdir/port")
+streamed=$(curl -sf -X POST --data-binary @"$tmpdir/q.txt" \
+    "http://127.0.0.1:$port/query?stream=1")
+echo "$streamed" | grep -q '"done":true' || {
+    echo "serve smoke: streamed query missing summary line: $streamed" >&2
+    exit 1
+}
+cached=$(curl -sf -X POST --data-binary @"$tmpdir/q.txt" \
+    "http://127.0.0.1:$port/query")
+echo "$cached" | grep -q '"cached":true' || {
+    echo "serve smoke: repeat query not served from cache: $cached" >&2
+    exit 1
+}
+curl -sf "http://127.0.0.1:$port/metrics" | grep -q 'psi_server_admitted_total 2' || {
+    echo "serve smoke: metrics did not count both queries" >&2
+    exit 1
+}
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "serve smoke: psiserve did not exit 0 on SIGTERM" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$tmpdir/serve.log" || {
+    echo "serve smoke: no clean drain recorded" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+}
+
 echo "All checks passed."
