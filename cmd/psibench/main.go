@@ -22,7 +22,17 @@
 // -index race (the default) builds every registered index and races them
 // per query: the first index to emit a verified candidate wins and the
 // losers are cancelled. The summary reports per-index build statistics and
-// race win counts.
+// race win counts. -shards=K partitions the dataset round-robin and builds
+// every index as K per-shard sub-indexes behind an ascending-ID ordered
+// merge; answers are byte-identical at any K.
+//
+// Shard-sweep mode (-shardsweep) measures the sharded engine at K=1/2/4/8
+// on both dataset shapes (PPI-like and synthetic), asserting that every K
+// answers byte-identically to the monolithic K=1 engine; its -json output
+// is the committed BENCH_shard.json:
+//
+//	psibench -shardsweep [-index ftv|grapes|ggsx|race] [-scale tiny]
+//	         [-seed 1] [-queries 8] [-json]
 package main
 
 import (
@@ -51,7 +61,9 @@ func main() {
 		serveFlag   = flag.Bool("serve", false, "benchmark the HTTP serving stack (internal/server) with a closed-loop load generator")
 		durFlag     = flag.Duration("dur", 1500*time.Millisecond, "serve mode: measured duration per (clients, cache) cell")
 		indexFlag   = flag.String("index", "race", "engine/serve mode: filtering indexes, ftv|grapes|ggsx, a comma list, or race (all)")
-		jsonFlag    = flag.Bool("json", false, "engine/serve mode: emit machine-readable JSON results")
+		shardsFlag  = flag.Int("shards", 1, "engine/serve mode: dataset shards per index (round-robin; answers identical at any K)")
+		sweepFlag   = flag.Bool("shardsweep", false, "sweep shard counts K=1/2/4/8 over both dataset shapes, asserting answer parity with K=1")
+		jsonFlag    = flag.Bool("json", false, "engine/serve/shardsweep mode: emit machine-readable JSON results")
 	)
 	flag.Parse()
 
@@ -67,15 +79,22 @@ func main() {
 		fatal(err)
 	}
 
+	if *sweepFlag {
+		if err := runShardSweep(scale, *scaleFlag, *indexFlag, *seedFlag, *queriesFlag, *capFlag, *jsonFlag); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *serveFlag {
-		if err := runServeBench(scale, *scaleFlag, *indexFlag, *seedFlag, *queriesFlag, *durFlag, *jsonFlag); err != nil {
+		if err := runServeBench(scale, *scaleFlag, *indexFlag, *seedFlag, *queriesFlag, *shardsFlag, *durFlag, *jsonFlag); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	if *engineFlag {
-		if err := runEngineBench(scale, *indexFlag, *seedFlag, *queriesFlag, *capFlag, *jsonFlag); err != nil {
+		if err := runEngineBench(scale, *indexFlag, *seedFlag, *queriesFlag, *shardsFlag, *capFlag, *jsonFlag); err != nil {
 			fatal(err)
 		}
 		return
@@ -108,7 +127,7 @@ func main() {
 
 // runEngineBench drives dataset containment queries through the psi.Engine
 // facade — the post-PR-2 serving path — rather than the direct index APIs.
-func runEngineBench(scale psi.Scale, indexSpec string, seed int64, queries int, cap time.Duration, asJSON bool) error {
+func runEngineBench(scale psi.Scale, indexSpec string, seed int64, queries, shards int, cap time.Duration, asJSON bool) error {
 	if seed == 0 {
 		seed = 1
 	}
@@ -123,6 +142,7 @@ func runEngineBench(scale psi.Scale, indexSpec string, seed int64, queries int, 
 	buildStart := time.Now()
 	eng, err := psi.NewDatasetEngine(ds, psi.EngineOptions{
 		Indexes: kinds,
+		Shards:  shards,
 		Timeout: cap,
 	})
 	if err != nil {

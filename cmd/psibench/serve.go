@@ -55,7 +55,7 @@ type serveReport struct {
 }
 
 // runServeBench drives the closed loop and prints text or JSON.
-func runServeBench(scale psi.Scale, scaleName, indexSpec string, seed int64, queries int, cellDur time.Duration, asJSON bool) error {
+func runServeBench(scale psi.Scale, scaleName, indexSpec string, seed int64, queries, shards int, cellDur time.Duration, asJSON bool) error {
 	if seed == 0 {
 		seed = 1
 	}
@@ -70,7 +70,7 @@ func runServeBench(scale psi.Scale, scaleName, indexSpec string, seed int64, que
 		return err
 	}
 	ds := psi.GeneratePPI(scale, seed)
-	eng, err := psi.NewDatasetEngine(ds, psi.EngineOptions{Indexes: kinds, CacheSize: -1})
+	eng, err := psi.NewDatasetEngine(ds, psi.EngineOptions{Indexes: kinds, Shards: shards, CacheSize: -1})
 	if err != nil {
 		return err
 	}

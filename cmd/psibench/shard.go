@@ -1,0 +1,139 @@
+package main
+
+// Shard sweep mode: measures the sharded dataset engine across partition
+// counts K=1/2/4/8 on both dataset shapes (PPI-like and GraphGen-style
+// synthetic), asserting along the way that every K produces byte-identical
+// answers to the monolithic K=1 engine — the sharding parity guarantee,
+// checked here end to end through psi.Engine rather than at the index layer.
+// The -json output is the committed BENCH_shard.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+	"time"
+
+	psi "github.com/psi-graph/psi"
+)
+
+// shardCell is one measured (shape, K) configuration.
+type shardCell struct {
+	Shape        string           `json:"shape"`
+	Shards       int              `json:"shards"`
+	BuildNS      time.Duration    `json:"build_ns"`
+	QueryTotalNS time.Duration    `json:"query_total_ns"`
+	Answers      int              `json:"answers"`
+	Parity       bool             `json:"parity_with_k1"`
+	ShardBalance []int64          `json:"shard_balance,omitempty"`
+	Wins         map[string]int64 `json:"wins"`
+	Indexes      []psi.IndexStats `json:"indexes"`
+}
+
+// shardReport is the full -shardsweep output document.
+type shardReport struct {
+	Bench   string      `json:"bench"`
+	Scale   string      `json:"scale"`
+	Seed    int64       `json:"seed"`
+	Queries int         `json:"queries"`
+	Index   string      `json:"index_spec"`
+	CPUs    int         `json:"cpus"`
+	Cells   []shardCell `json:"cells"`
+}
+
+// shardSweepKs are the measured partition counts.
+var shardSweepKs = []int{1, 2, 4, 8}
+
+// runShardSweep drives the sweep and prints text or JSON.
+func runShardSweep(scale psi.Scale, scaleName, indexSpec string, seed int64, queries int, cap time.Duration, asJSON bool) error {
+	if seed == 0 {
+		seed = 1
+	}
+	if queries <= 0 {
+		queries = 8
+	}
+	kinds, err := psi.ParseIndexSpec(indexSpec)
+	if err != nil {
+		return err
+	}
+	info := os.Stdout
+	if asJSON {
+		info = os.Stderr
+	}
+	report := shardReport{
+		Bench: "shard", Scale: scaleName, Seed: seed,
+		Queries: queries, Index: indexSpec, CPUs: runtime.NumCPU(),
+	}
+	shapes := []struct {
+		name string
+		ds   []*psi.Graph
+	}{
+		{"ppi", psi.GeneratePPI(scale, seed)},
+		{"synthetic", psi.GenerateSynthetic(scale, seed)},
+	}
+	for _, shape := range shapes {
+		queryGraphs := make([]*psi.Graph, queries)
+		for i := range queryGraphs {
+			queryGraphs[i] = psi.ExtractQuery(shape.ds[i%len(shape.ds)], 4+(i%2)*4, seed+int64(i))
+		}
+		var baseline [][]int
+		for _, k := range shardSweepKs {
+			buildStart := time.Now()
+			eng, err := psi.NewDatasetEngine(shape.ds, psi.EngineOptions{
+				Indexes: kinds,
+				Shards:  k,
+				Timeout: cap,
+			})
+			if err != nil {
+				return fmt.Errorf("%s K=%d: %w", shape.name, k, err)
+			}
+			cell := shardCell{Shape: shape.name, Shards: k, BuildNS: time.Since(buildStart), Parity: true}
+			answers := make([][]int, len(queryGraphs))
+			for i, q := range queryGraphs {
+				res, err := eng.Query(context.Background(), q, 0)
+				if err != nil {
+					eng.Close()
+					return fmt.Errorf("%s K=%d q%d: %w", shape.name, k, i, err)
+				}
+				if res.Killed {
+					// A killed query surfaces an empty answer; comparing it
+					// would either corrupt the K=1 baseline or falsely
+					// accuse the sharding merge of divergence.
+					eng.Close()
+					return fmt.Errorf("%s K=%d q%d: killed under the %v cap — the parity sweep needs completed queries; raise -cap", shape.name, k, i, cap)
+				}
+				cell.QueryTotalNS += res.Elapsed
+				cell.Answers += len(res.GraphIDs)
+				answers[i] = res.GraphIDs
+			}
+			if baseline == nil {
+				baseline = answers
+			} else {
+				for i := range answers {
+					if !slices.Equal(answers[i], baseline[i]) {
+						cell.Parity = false
+					}
+				}
+			}
+			cell.ShardBalance = eng.ShardBalance()
+			cell.Wins = eng.WinCounts()
+			cell.Indexes = eng.IndexStats()
+			eng.Close()
+			if !cell.Parity {
+				return fmt.Errorf("%s K=%d: answers diverge from K=1 — sharding parity broken", shape.name, k)
+			}
+			report.Cells = append(report.Cells, cell)
+			fmt.Fprintf(info, "%-10s K=%d build=%-10v queries=%-10v answers=%-4d balance=%v\n",
+				shape.name, k, cell.BuildNS.Round(time.Microsecond),
+				cell.QueryTotalNS.Round(time.Microsecond), cell.Answers, cell.ShardBalance)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	return nil
+}

@@ -5,6 +5,9 @@
 //
 //	psiserve -data ppi.txt -index race -timeout 10m -addr 127.0.0.1:8080
 //	psiserve -gen ppi -scale tiny -seed 1 -addr 127.0.0.1:0 -portfile port.txt
+//	psiserve -gen synthetic -scale small -shards 4 -index race   # sharded dataset:
+//	     every index is partitioned into 4 round-robin shards whose streams
+//	     merge in ascending ID order; answers are byte-identical to -shards 1
 //
 // Endpoints:
 //
@@ -54,6 +57,7 @@ func main() {
 		rewrFlag     = flag.String("rewritings", "Orig,DND", "raced rewritings: Orig,ILF,IND,DND,ILF+IND,ILF+DND")
 		modeFlag     = flag.String("mode", "race", "planning policy: race|predict|single")
 		indexFlag    = flag.String("index", "race", "dataset indexes: ftv|grapes|ggsx, a comma list, or race (all)")
+		shardsFlag   = flag.Int("shards", 1, "dataset shards per index (round-robin partition; answers identical at any K)")
 		workersFlag  = flag.Int("workers", 1, "Grapes verification worker count")
 		timeoutFlag  = flag.Duration("timeout", 10*time.Minute, "per-query kill cap (the engine budget)")
 		reqTimeout   = flag.Duration("request-timeout", 0, "per-request deadline cap (0: engine budget only)")
@@ -68,7 +72,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := buildEngine(ds, *algosFlag, *rewrFlag, *modeFlag, *indexFlag, *workersFlag, *timeoutFlag)
+	eng, err := buildEngine(ds, *algosFlag, *rewrFlag, *modeFlag, *indexFlag, *shardsFlag, *workersFlag, *timeoutFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -160,7 +164,7 @@ func loadDataset(path, genKind, scaleName string, seed int64) ([]*graph.Graph, e
 }
 
 // buildEngine constructs the NFV or FTV engine the dataset shape calls for.
-func buildEngine(ds []*graph.Graph, algos, rewritings, mode, indexSpec string, workers int, timeout time.Duration) (*psi.Engine, error) {
+func buildEngine(ds []*graph.Graph, algos, rewritings, mode, indexSpec string, shards, workers int, timeout time.Duration) (*psi.Engine, error) {
 	kinds, err := parseRewritings(rewritings)
 	if err != nil {
 		return nil, err
@@ -174,6 +178,7 @@ func buildEngine(ds []*graph.Graph, algos, rewritings, mode, indexSpec string, w
 		Mode:         m,
 		Timeout:      timeout,
 		IndexWorkers: workers,
+		Shards:       shards,
 	}
 	if len(ds) > 1 {
 		opts.Indexes, err = psi.ParseIndexSpec(indexSpec)
@@ -195,8 +200,12 @@ func describe(eng *psi.Engine) string {
 		for _, st := range eng.IndexStats() {
 			names = append(names, st.Name)
 		}
-		return fmt.Sprintf("FTV: %d graphs, policy=%s, indexes=%s",
-			len(ds), eng.IndexPolicy(), strings.Join(names, ","))
+		sharding := ""
+		if k := eng.Shards(); k > 1 {
+			sharding = fmt.Sprintf(", shards=%d", k)
+		}
+		return fmt.Sprintf("FTV: %d graphs, policy=%s%s, indexes=%s",
+			len(ds), eng.IndexPolicy(), sharding, strings.Join(names, ","))
 	}
 	return fmt.Sprintf("NFV: %d vertices, mode=%s", eng.Graph().N(), eng.Mode())
 }

@@ -141,6 +141,46 @@
 // filter → raced verification behind the iGQ-style result cache, unchanged.
 // Plan.IndexPolicy records which policy a planned query will run.
 //
+// # Sharding architecture
+//
+// Sharding adds a data-parallel axis under the portfolio axis: instead of
+// one index per kind over the whole dataset, EngineOptions.Shards = K
+// partitions the dataset round-robin over graph IDs (global ID g lives in
+// shard g mod K, at position g div K within it — stable, deterministic,
+// balanced to within one graph) and builds every index in the portfolio as
+// K per-shard sub-indexes behind the index.Sharded wrapper.
+//
+// Queries fan the filter→verify pipeline across shards: every shard scans
+// its sub-index concurrently, the per-shard candidate streams merge in
+// ascending global-ID order, and verification routes each candidate back
+// to the shard that owns it while fanning out across the execution pool.
+//
+// The parity guarantee is absolute: sharded answers are byte-identical to
+// the monolithic engine's at any K and any worker count. Filtering is a
+// per-graph decision (a graph survives iff it contains every query feature
+// at least as often as the query does), so partitioning cannot change the
+// candidate set; the ordered merge restores the global ascending order; and
+// verification is per-graph. The property is fuzzed across kinds, shard
+// counts and pool sizes by the internal/index tests and enforced end to end
+// by cmd/psibench -shardsweep, which refuses to emit a benchmark document
+// whose answers diverge from K=1.
+//
+// Because Sharded implements the same Index contract as the monolithic
+// kinds, it composes with everything above it unchanged: FTVRacer races
+// rewritings inside sharded verification, and core.IndexRacer races whole
+// sharded pipelines against each other ("Grapes/1×4" vs "GGSX×4"). On this
+// repo's 1-CPU reference box K>1 buys no wall-clock (the shard scans time-
+// slice one core; expect parity, not speedup — BENCH_shard.json records
+// exactly that); on multicore, shard scans and builds spread across cores,
+// and the per-shard balance is observable via Engine.ShardBalance and the
+// serving layer's /stats (shard_balance) and /metrics
+// (psi_engine_shard_answers_total).
+//
+//	eng, _ := psi.NewDatasetEngine(ds, psi.EngineOptions{
+//		Indexes: psi.IndexKinds(),
+//		Shards:  4, // answers byte-identical to Shards: 1
+//	})
+//
 // # Serving architecture
 //
 // The serving subsystem (internal/server, fronted by cmd/psiserve) turns

@@ -119,6 +119,12 @@ type EngineOptions struct {
 	// IndexWorkers is the Grapes verification worker count (the paper's
 	// Grapes/1 vs Grapes/4); 0 means 1. Other kinds ignore it.
 	IndexWorkers int
+	// Shards partitions the dataset of dataset engines into K round-robin
+	// shards, giving every index in the portfolio one sub-index per shard
+	// behind an ascending-ID ordered merge; answers are byte-identical to
+	// the monolithic engine at any K. <= 1 (and NFV engines) stay
+	// monolithic. The count is clamped to the dataset size.
+	Shards int
 	// CacheSize bounds the iGQ-style result cache of dataset engines:
 	// 0 means 128 entries, negative disables the cache. The cache layers
 	// over a single index's pipeline, so it only applies under the fixed
@@ -207,6 +213,14 @@ type Engine struct {
 	ixRacer  *core.IndexRacer
 	ftvRacer *FTVRacer
 	cache    *CachedFTV
+
+	// Sharding state: shardK is the effective partition count (0 when
+	// monolithic) and shardEmits tallies, per shard, how many answer graph
+	// IDs each shard contributed across the engine's lifetime — the shard
+	// balance a serving layer exposes.
+	shardK     int
+	shardMu    sync.Mutex
+	shardEmits []int64
 }
 
 // NewEngine builds an NFV engine serving subgraph-matching queries against
@@ -300,10 +314,17 @@ func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
 		x, berr := index.Build(context.Background(), kind, ds, index.Options{
 			Workers: opts.IndexWorkers,
 			Pool:    e.pool,
+			Shards:  opts.Shards,
 		})
 		if berr != nil {
 			e.Close()
 			return nil, fmt.Errorf("psi: building FTV index: %w", berr)
+		}
+		if sh, ok := x.(*index.Sharded); ok && e.shardK == 0 && sh.Shards() > 1 {
+			// Every portfolio entry shards identically; record the
+			// effective (dataset-clamped) count once.
+			e.shardK = sh.Shards()
+			e.shardEmits = make([]int64, e.shardK)
 		}
 		e.indexes = append(e.indexes, x)
 	}
@@ -446,6 +467,50 @@ func (e *Engine) recordWin(label string) {
 // IndexPolicy reports how a dataset engine uses its filtering indexes
 // (IndexRace or IndexFixed); empty for NFV engines.
 func (e *Engine) IndexPolicy() string { return e.ixPolicy }
+
+// Shards reports the effective dataset partition count of a sharded dataset
+// engine (0 for monolithic and NFV engines).
+func (e *Engine) Shards() int { return e.shardK }
+
+// ShardBalance returns a copy of the per-shard answer tally of a sharded
+// dataset engine: how many containing graph IDs each shard has contributed
+// across all executed queries (nil when monolithic). Every engine-executed
+// query counts, including repeats and engine-cache replays — the tally
+// tracks query traffic over each shard's data, mirroring how Counters
+// treats replays as executed queries; only answers a serving layer replays
+// from its own result cache (which never reach the engine) are absent.
+// Safe to call while queries are in flight.
+func (e *Engine) ShardBalance() []int64 {
+	if e.shardK < 2 {
+		return nil
+	}
+	e.shardMu.Lock()
+	defer e.shardMu.Unlock()
+	return append([]int64(nil), e.shardEmits...)
+}
+
+// tallyShardID attributes one emitted answer graph ID to the shard that
+// owns it; a no-op for monolithic engines.
+func (e *Engine) tallyShardID(graphID int) {
+	if e.shardK < 2 {
+		return
+	}
+	e.shardMu.Lock()
+	e.shardEmits[index.ShardOf(graphID, e.shardK)]++
+	e.shardMu.Unlock()
+}
+
+// tallyShardIDs attributes a collected answer to its shards.
+func (e *Engine) tallyShardIDs(graphIDs []int) {
+	if e.shardK < 2 {
+		return
+	}
+	e.shardMu.Lock()
+	for _, id := range graphIDs {
+		e.shardEmits[index.ShardOf(id, e.shardK)]++
+	}
+	e.shardMu.Unlock()
+}
 
 // IndexStats reports the build provenance and shape of every filtering
 // index in the engine's portfolio, in portfolio order (dataset engines
@@ -686,6 +751,12 @@ func (e *Engine) tally(res *QueryResult) {
 	if res.Killed {
 		e.counters.Killed.Add(1)
 	}
+	if e.shardK >= 2 && res.Kind == PlanFTV {
+		e.counters.ShardedQueries.Add(1)
+		if res.Killed {
+			e.counters.ShardedKilled.Add(1)
+		}
+	}
 	e.recordWin(res.Winner)
 	if n := len(res.IndexAttempts); n > 0 {
 		e.counters.IndexRaces.Add(1)
@@ -778,6 +849,7 @@ func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
 		res.Found = len(r.GraphIDs)
 		res.Winner = r.Winner
 		res.IndexAttempts = r.Attempts
+		e.tallyShardIDs(res.GraphIDs)
 		return nil
 	}
 	var (
@@ -796,6 +868,7 @@ func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
 	}
 	res.GraphIDs = ids
 	res.Found = len(ids)
+	e.tallyShardIDs(ids)
 	return nil
 }
 
@@ -845,6 +918,7 @@ func (e *Engine) AnswerStreamResult(ctx context.Context, q *Graph, emit func(gra
 	streamed := 0
 	counting := func(id int) bool {
 		streamed++
+		e.tallyShardID(id)
 		return emit(id)
 	}
 	run := func(runCtx context.Context) error {

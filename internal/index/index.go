@@ -81,6 +81,12 @@ type Stats struct {
 	BuildTime time.Duration `json:"build_ns"`
 	// BuildWorkers is the extraction parallelism the build ran with.
 	BuildWorkers int `json:"build_workers"`
+	// ShardCount is the partition count of a Sharded index (0 for
+	// monolithic indexes).
+	ShardCount int `json:"shard_count,omitempty"`
+	// Shards holds the per-shard build statistics of a Sharded index, in
+	// shard order — the shard-balance breakdown a /stats endpoint exposes.
+	Shards []Stats `json:"shards,omitempty"`
 }
 
 // Options configures Build.
@@ -96,6 +102,11 @@ type Options struct {
 	// build; nil selects the shared default pool. Build output is identical
 	// for every pool size.
 	Pool *exec.Pool
+	// Shards partitions the dataset round-robin over graph IDs and builds
+	// one index of the requested kind per shard, merged behind the Sharded
+	// wrapper; answers are byte-identical to the monolithic build at any
+	// shard count. <= 1 builds the plain monolithic index.
+	Shards int
 }
 
 // BuildFunc constructs an Index of one kind over a dataset.
@@ -130,8 +141,13 @@ func Kinds() []string {
 }
 
 // Build constructs an index of the registered kind. The build is cancellable
-// through ctx and deterministic for any opts.Pool size.
+// through ctx and deterministic for any opts.Pool size. With opts.Shards >= 2
+// the dataset is partitioned and the result is a Sharded index of that kind;
+// its answers are byte-identical to the monolithic build.
 func Build(ctx context.Context, kind string, ds []*graph.Graph, opts Options) (Index, error) {
+	if opts.Shards >= 2 {
+		return BuildSharded(ctx, kind, ds, opts)
+	}
 	registryMu.RLock()
 	b := registry[kind]
 	registryMu.RUnlock()

@@ -135,34 +135,44 @@ type Counters struct {
 	// IndexAttempts counts filtering-index pipelines started inside index
 	// races (portfolio size summed over raced queries).
 	IndexAttempts atomic.Int64
+	// ShardedQueries counts dataset queries answered through a sharded
+	// (partitioned) index portfolio.
+	ShardedQueries atomic.Int64
+	// ShardedKilled counts the subset of ShardedQueries that hit the
+	// per-query kill cap.
+	ShardedKilled atomic.Int64
 }
 
 // CountersSnapshot is a plain-value copy of Counters, safe to serialize.
 type CountersSnapshot struct {
-	Queries       int64 `json:"queries"`
-	Streamed      int64 `json:"streamed"`
-	Killed        int64 `json:"killed"`
-	Errors        int64 `json:"errors"`
-	RaceAttempts  int64 `json:"race_attempts"`
-	PredictedSolo int64 `json:"predicted_solo"`
-	Fallbacks     int64 `json:"fallbacks"`
-	IndexRaces    int64 `json:"index_races"`
-	IndexAttempts int64 `json:"index_attempts"`
+	Queries        int64 `json:"queries"`
+	Streamed       int64 `json:"streamed"`
+	Killed         int64 `json:"killed"`
+	Errors         int64 `json:"errors"`
+	RaceAttempts   int64 `json:"race_attempts"`
+	PredictedSolo  int64 `json:"predicted_solo"`
+	Fallbacks      int64 `json:"fallbacks"`
+	IndexRaces     int64 `json:"index_races"`
+	IndexAttempts  int64 `json:"index_attempts"`
+	ShardedQueries int64 `json:"sharded_queries"`
+	ShardedKilled  int64 `json:"sharded_killed"`
 }
 
 // Snapshot returns a point-in-time copy of every counter. Counters keep
 // moving while the snapshot is taken; each field is individually exact.
 func (c *Counters) Snapshot() CountersSnapshot {
 	return CountersSnapshot{
-		Queries:       c.Queries.Load(),
-		Streamed:      c.Streamed.Load(),
-		Killed:        c.Killed.Load(),
-		Errors:        c.Errors.Load(),
-		RaceAttempts:  c.RaceAttempts.Load(),
-		PredictedSolo: c.PredictedSolo.Load(),
-		Fallbacks:     c.Fallbacks.Load(),
-		IndexRaces:    c.IndexRaces.Load(),
-		IndexAttempts: c.IndexAttempts.Load(),
+		Queries:        c.Queries.Load(),
+		Streamed:       c.Streamed.Load(),
+		Killed:         c.Killed.Load(),
+		Errors:         c.Errors.Load(),
+		RaceAttempts:   c.RaceAttempts.Load(),
+		PredictedSolo:  c.PredictedSolo.Load(),
+		Fallbacks:      c.Fallbacks.Load(),
+		IndexRaces:     c.IndexRaces.Load(),
+		IndexAttempts:  c.IndexAttempts.Load(),
+		ShardedQueries: c.ShardedQueries.Load(),
+		ShardedKilled:  c.ShardedKilled.Load(),
 	}
 }
 

@@ -1,0 +1,211 @@
+package rewrite
+
+// End-to-end round-trip property for the rewriting machinery — the corner
+// the unit tests above leave open. The framework's soundness rests on one
+// identity: for any rewriting kind k, matching the rewritten query and
+// mapping each embedding back through the permutation yields exactly the
+// embeddings of the unrewritten query. The tests check it against a real
+// matcher (VF2) over random stored graphs, queries, frequency maps and
+// seeds, for every kind including arbitrary random permutations.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/match"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+// roundTripKinds is every rewriting the framework races.
+var roundTripKinds = []Kind{Orig, ILF, IND, DND, ILFIND, ILFDND, Random}
+
+// embeddingLimit bounds enumeration; a sample that hits it is skipped (a
+// truncated set cannot be compared — different enumeration orders truncate
+// at different embeddings).
+const embeddingLimit = 20000
+
+// extractConnectedQuery grows a connected query of wantEdges edges from a
+// random vertex of g, relabeling vertices to a compact range.
+func extractConnectedQuery(r *rand.Rand, g *graph.Graph, wantEdges int) *graph.Graph {
+	start := r.Intn(g.N())
+	inQ := map[int32]bool{int32(start): true}
+	type edge struct{ u, v int32 }
+	var qEdges []edge
+	has := func(a, b int32) bool {
+		for _, e := range qEdges {
+			if (e.u == a && e.v == b) || (e.u == b && e.v == a) {
+				return true
+			}
+		}
+		return false
+	}
+	for len(qEdges) < wantEdges {
+		var frontier []edge
+		for v := range inQ {
+			for _, w := range g.Neighbors(int(v)) {
+				if !has(v, w) {
+					frontier = append(frontier, edge{v, w})
+				}
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		sort.Slice(frontier, func(i, j int) bool {
+			if frontier[i].u != frontier[j].u {
+				return frontier[i].u < frontier[j].u
+			}
+			return frontier[i].v < frontier[j].v
+		})
+		e := frontier[r.Intn(len(frontier))]
+		qEdges = append(qEdges, e)
+		inQ[e.u] = true
+		inQ[e.v] = true
+	}
+	ids := make([]int32, 0, len(inQ))
+	for v := range inQ {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	old2new := make(map[int32]int, len(ids))
+	b := graph.NewBuilder("q")
+	for i, v := range ids {
+		old2new[v] = i
+		b.AddVertex(g.Label(int(v)))
+	}
+	for _, e := range qEdges {
+		if err := b.AddEdge(old2new[e.u], old2new[e.v]); err != nil {
+			panic(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+// embeddingSet canonicalizes a set of embeddings for order-insensitive
+// comparison (matchers enumerate in query-vertex order, which the rewriting
+// deliberately changes).
+func embeddingSet(embs []match.Embedding) []string {
+	out := make([]string, len(embs))
+	for i, e := range embs {
+		out[i] = fmt.Sprint(e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// randomFrequencies returns an adversarial frequency map: random counts,
+// with some labels deliberately missing (frequency 0, the "unseen label"
+// path of the ILF comparators).
+func randomFrequencies(r *rand.Rand, labels int) Frequencies {
+	f := make(Frequencies)
+	for l := 0; l < labels; l++ {
+		if r.Intn(4) == 0 {
+			continue
+		}
+		f[graph.Label(l)] = r.Intn(50)
+	}
+	return f
+}
+
+// TestRewriteRoundTripProperty is the property itself: over random stored
+// graphs, queries, frequency maps and seeds, every rewriting's embeddings
+// mapped back through its permutation equal the unrewritten matcher's
+// embeddings — and each mapped-back embedding independently verifies
+// against the original query.
+func TestRewriteRoundTripProperty(t *testing.T) {
+	const samples = 25
+	checked := 0
+	for seed := int64(1); seed <= samples; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnected(r, 8+r.Intn(8), 3)
+		q := extractConnectedQuery(r, g, 3+r.Intn(4))
+		m := vf2.New(g)
+		want, err := m.Match(context.Background(), q, embeddingLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 || len(want) >= embeddingLimit {
+			continue // nothing to round-trip, or truncated (incomparable)
+		}
+		wantSet := embeddingSet(want)
+		freqs := []Frequencies{FrequenciesOf(g), randomFrequencies(r, 3), nil}
+		for _, k := range roundTripKinds {
+			for fi, f := range freqs {
+				q2, perm := Apply(q, f, k, seed)
+				if !graph.IsIsomorphismWitness(q, q2, perm) {
+					t.Fatalf("seed %d %v freq#%d: permutation is not an isomorphism witness", seed, k, fi)
+				}
+				got, err := m.Match(context.Background(), q2, embeddingLimit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mapped := make([]match.Embedding, len(got))
+				for i, e := range got {
+					mapped[i] = MapBack(e, perm)
+					if verr := match.VerifyEmbedding(q, g, mapped[i]); verr != nil {
+						t.Fatalf("seed %d %v freq#%d: mapped-back embedding %v invalid for the original query: %v",
+							seed, k, fi, mapped[i], verr)
+					}
+				}
+				if gotSet := embeddingSet(mapped); !slices.Equal(gotSet, wantSet) {
+					t.Fatalf("seed %d %v freq#%d: mapped-back embeddings %v, want %v",
+						seed, k, fi, gotSet, wantSet)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("property vacuous: no sample produced embeddings — enlarge the generator")
+	}
+}
+
+// TestRewriteRoundTripArbitraryPermutations extends the property beyond the
+// named kinds: any uniformly random permutation (fresh seeds, not just the
+// Random kind raced in production) must round-trip the same way.
+func TestRewriteRoundTripArbitraryPermutations(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	g := randomConnected(r, 12, 3)
+	q := extractConnectedQuery(r, g, 4)
+	m := vf2.New(g)
+	want, err := m.Match(context.Background(), q, embeddingLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSet := embeddingSet(want)
+	for trial := 0; trial < 30; trial++ {
+		perm := Compute(q, nil, Random, r.Int63())
+		q2 := q.MustPermute(perm)
+		got, err := m.Match(context.Background(), q2, embeddingLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped := make([]match.Embedding, len(got))
+		for i, e := range got {
+			mapped[i] = MapBack(e, perm)
+		}
+		if gotSet := embeddingSet(mapped); !slices.Equal(gotSet, wantSet) {
+			t.Fatalf("trial %d: mapped-back embeddings %v, want %v", trial, gotSet, wantSet)
+		}
+	}
+}
+
+// TestMapBackIdentity pins the algebra at the boundary: mapping back
+// through the identity permutation is the identity, and MapBack composed
+// with the permutation's definition (perm[old] = new) recovers every
+// original position.
+func TestMapBackIdentity(t *testing.T) {
+	emb := []int32{7, 3, 9, 1}
+	id := graph.Identity(len(emb))
+	back := MapBack(emb, id)
+	for i := range emb {
+		if back[i] != emb[i] {
+			t.Fatalf("MapBack under identity moved position %d: %v -> %v", i, emb, back)
+		}
+	}
+}

@@ -374,6 +374,8 @@ type StatsResponse struct {
 	Mode          string             `json:"mode"`
 	IndexPolicy   string             `json:"index_policy,omitempty"`
 	DatasetGraphs int                `json:"dataset_graphs,omitempty"`
+	Shards        int                `json:"shards,omitempty"`
+	ShardBalance  []int64            `json:"shard_balance,omitempty"`
 	Draining      bool               `json:"draining"`
 	InFlight      int                `json:"in_flight"`
 	Capacity      int                `json:"capacity"`
@@ -394,6 +396,8 @@ func (s *Server) Stats() StatsResponse {
 		Mode:          string(s.eng.Mode()),
 		IndexPolicy:   s.eng.IndexPolicy(),
 		DatasetGraphs: len(s.eng.Dataset()),
+		Shards:        s.eng.Shards(),
+		ShardBalance:  s.eng.ShardBalance(),
 		Draining:      s.Draining(),
 		InFlight:      s.lim.InFlight(),
 		Capacity:      s.lim.Cap(),
@@ -445,6 +449,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("psi_engine_fallbacks_total", st.Engine.Fallbacks)
 	p("psi_engine_index_races_total", st.Engine.IndexRaces)
 	p("psi_engine_index_attempts_total", st.Engine.IndexAttempts)
+	p("psi_engine_sharded_queries_total", st.Engine.ShardedQueries)
+	p("psi_engine_sharded_killed_total", st.Engine.ShardedKilled)
+	p("psi_server_shards", st.Shards)
+	for shard, n := range st.ShardBalance {
+		fmt.Fprintf(w, "psi_engine_shard_answers_total{shard=\"%d\"} %d\n", shard, n)
+	}
 	winners := make([]string, 0, len(st.Wins))
 	for name := range st.Wins {
 		winners = append(winners, name)

@@ -260,6 +260,18 @@ func BuildIndex(ctx context.Context, kind string, dataset []*Graph, workers int)
 // IndexKinds lists the registered filtering-index kinds.
 func IndexKinds() []string { return indexpkg.Kinds() }
 
+// NewShardedIndex builds a registered filtering-index kind over a K-way
+// round-robin partition of the dataset: every shard gets its own sub-index,
+// per-shard candidate streams merge in ascending global-ID order, and
+// verification routes back to the owning shard — so answers are
+// byte-identical to BuildIndex's monolithic result at any shard count. The
+// returned index satisfies the full FilterIndex contract and can be raced
+// against any other index (sharded or not) by NewIndexRacer or a dataset
+// Engine. shards <= 1 builds the plain monolithic index.
+func NewShardedIndex(ctx context.Context, kind string, dataset []*Graph, shards, workers int) (FilterIndex, error) {
+	return indexpkg.Build(ctx, kind, dataset, indexpkg.Options{Workers: workers, Shards: shards})
+}
+
 // NewIndexRacer races the given filtering indexes per query with the given
 // rewritings raced per candidate inside each; see Engine's race policy for
 // the serving-shaped form.

@@ -267,4 +267,29 @@ func TestFilterIndexFacade(t *testing.T) {
 	if _, err := psi.BuildIndex(context.Background(), "btree", ds, 1); err == nil {
 		t.Error("BuildIndex of unknown kind must fail")
 	}
+	// The sharded constructor answers identically to the monolithic build
+	// and reports its partitioning in Stats.
+	sh, err := psi.NewShardedIndex(context.Background(), kinds[0], ds, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if st := sh.Stats(); st.ShardCount != 2 || len(st.Shards) != 2 {
+		t.Errorf("sharded Stats = %+v, want ShardCount 2 with per-shard breakdown", st)
+	}
+	got, err := psi.FTVAnswer(context.Background(), sh, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sharded index answered %v, monolithic %v", got, want)
+	}
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("sharded index answered %v, monolithic %v", got, want)
+		}
+	}
+	if _, err := psi.NewShardedIndex(context.Background(), "btree", ds, 2, 1); err == nil {
+		t.Error("NewShardedIndex of unknown kind must fail")
+	}
 }

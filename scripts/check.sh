@@ -24,8 +24,11 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race -shuffle=on =="
+# -shuffle=on randomizes test (and subtest-parent) execution order so
+# order-dependent tests fail here instead of flaking later; the shuffle
+# seed is printed on failure for reproduction.
+go test -race -shuffle=on ./...
 
 echo "== bench smoke (1 iteration) =="
 go test -run='^$' -bench=. -benchtime=1x .
@@ -36,6 +39,30 @@ echo "== index build + race smoke =="
 # build-determinism and race-plumbing breakage that unit tests with stub
 # indexes would miss.
 go run ./cmd/psibench -engine -index=race -scale=tiny -queries 4
+
+echo "== shard smoke =="
+# One raced query over a K=4 sharded portfolio (exercises the ordered merge
+# under the index race), then the K=1/2/4/8 sweep on both dataset shapes,
+# which exits non-zero if any K's answers diverge from the monolithic K=1
+# engine — the sharding parity guarantee, enforced end to end.
+go run ./cmd/psibench -engine -index=race -shards=4 -scale=tiny -queries 2
+go run ./cmd/psibench -shardsweep -index=ftv -scale=tiny -queries 2
+
+echo "== coverage gate (internal/index, internal/rewrite) =="
+# Per-package coverage for the two packages this repo's correctness
+# arguments lean on hardest (the filtering/sharding contract and the
+# rewriting round-trip); regressing below the floor fails the gate.
+cov_out=$(go test -cover ./internal/index ./internal/rewrite)
+echo "$cov_out"
+echo "$cov_out" | awk '
+    /coverage:/ {
+        for (i = 1; i <= NF; i++) if ($i ~ /%$/) {
+            pct = $i; gsub(/%/, "", pct)
+            if (pct + 0 < 85) { print "coverage below 85% floor: " $0; bad = 1 }
+        }
+    }
+    END { exit bad }
+' || exit 1
 
 echo "== serve smoke =="
 # End-to-end over the real binary: start psiserve on a random port over a
