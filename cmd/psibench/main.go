@@ -33,6 +33,17 @@
 //
 //	psibench -shardsweep [-index ftv|grapes|ggsx|race] [-scale tiny]
 //	         [-seed 1] [-queries 8] [-json]
+//
+// Policy-sweep mode (-policysweep) compares the serving stack under three
+// planning policies — always-race, solo-best (fixed on the calibration
+// winner) and the learned auto policy — on uniform and skewed query mixes
+// at 1/4/16 closed-loop clients, asserting answer parity before measuring
+// throughput, first-result latency, attempts-started-per-answer, regret vs
+// always-race, and in-flight coalescing; its -json output is the committed
+// BENCH_policy.json:
+//
+//	psibench -policysweep [-index race] [-scale tiny] [-seed 1]
+//	         [-queries 12] [-dur 1500ms] [-json]
 package main
 
 import (
@@ -63,6 +74,7 @@ func main() {
 		indexFlag   = flag.String("index", "race", "engine/serve mode: filtering indexes, ftv|grapes|ggsx, a comma list, or race (all)")
 		shardsFlag  = flag.Int("shards", 1, "engine/serve mode: dataset shards per index (round-robin; answers identical at any K)")
 		sweepFlag   = flag.Bool("shardsweep", false, "sweep shard counts K=1/2/4/8 over both dataset shapes, asserting answer parity with K=1")
+		policyFlag  = flag.Bool("policysweep", false, "sweep planning policies (race, solo-best, auto) over uniform and skewed serving mixes, asserting answer parity")
 		jsonFlag    = flag.Bool("json", false, "engine/serve/shardsweep mode: emit machine-readable JSON results")
 	)
 	flag.Parse()
@@ -77,6 +89,13 @@ func main() {
 	scale, err := gen.ParseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *policyFlag {
+		if err := runPolicySweep(scale, *scaleFlag, *indexFlag, *seedFlag, *queriesFlag, *durFlag, *jsonFlag); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *sweepFlag {

@@ -8,6 +8,16 @@
 //	psiserve -gen synthetic -scale small -shards 4 -index race   # sharded dataset:
 //	     every index is partitioned into 4 round-robin shards whose streams
 //	     merge in ascending ID order; answers are byte-identical to -shards 1
+//	psiserve -gen ppi -index race -policy auto   # traffic-aware planning:
+//	     a per-query-class bandit learns which index pipeline wins and runs
+//	     it solo, escalating back to the full race on unfamiliar classes,
+//	     stale statistics, or a budget-killed solo; answers stay identical
+//	     to -policy race. (-mode auto is the stored-graph analogue.)
+//
+// Concurrent identical queries are coalesced: overlapping requests for the
+// same canonical query share one engine execution and every client gets the
+// full answer, marked coalesced:true. Pass -no-coalesce (or per-request
+// ?cache=0) to force independent executions.
 //
 // Endpoints:
 //
@@ -16,7 +26,9 @@
 //	     (one per embedding / containing graph ID, then a summary line)
 //	     with stream=1.
 //	GET  /stats    — JSON snapshot: engine counters, win tallies, index
-//	     build provenance, cache effectiveness, admission state.
+//	     build provenance, cache effectiveness, admission state, coalescing
+//	     counters, and (with -policy auto / -mode auto) the learned
+//	     per-arm policy statistics.
 //	GET  /metrics  — the same counters in Prometheus text format.
 //	GET  /healthz  — 200 while serving, 503 once draining.
 //
@@ -55,8 +67,10 @@ func main() {
 		portFileFlag = flag.String("portfile", "", "write the bound TCP port to this file once listening")
 		algosFlag    = flag.String("algos", "GQL,SPA", "NFV algorithms: GQL,SPA,QSI,VF2")
 		rewrFlag     = flag.String("rewritings", "Orig,DND", "raced rewritings: Orig,ILF,IND,DND,ILF+IND,ILF+DND")
-		modeFlag     = flag.String("mode", "race", "planning policy: race|predict|single")
+		modeFlag     = flag.String("mode", "race", "stored-graph planning mode: race|predict|single|auto")
 		indexFlag    = flag.String("index", "race", "dataset indexes: ftv|grapes|ggsx, a comma list, or race (all)")
+		policyFlag   = flag.String("policy", "", "dataset index policy: race|fixed|auto (default: race with several indexes)")
+		noCoalesce   = flag.Bool("no-coalesce", false, "disable in-flight coalescing of concurrent identical queries")
 		shardsFlag   = flag.Int("shards", 1, "dataset shards per index (round-robin partition; answers identical at any K)")
 		workersFlag  = flag.Int("workers", 1, "Grapes verification worker count")
 		timeoutFlag  = flag.Duration("timeout", 10*time.Minute, "per-query kill cap (the engine budget)")
@@ -72,7 +86,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := buildEngine(ds, *algosFlag, *rewrFlag, *modeFlag, *indexFlag, *shardsFlag, *workersFlag, *timeoutFlag)
+	eng, err := buildEngine(ds, *algosFlag, *rewrFlag, *modeFlag, *indexFlag, *policyFlag, *shardsFlag, *workersFlag, *timeoutFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,6 +97,7 @@ func main() {
 		DefaultLimit:   *limitFlag,
 		RequestTimeout: *reqTimeout,
 		CacheSize:      *cacheFlag,
+		NoCoalesce:     *noCoalesce,
 	})
 
 	ln, err := net.Listen("tcp", *addrFlag)
@@ -164,7 +179,7 @@ func loadDataset(path, genKind, scaleName string, seed int64) ([]*graph.Graph, e
 }
 
 // buildEngine constructs the NFV or FTV engine the dataset shape calls for.
-func buildEngine(ds []*graph.Graph, algos, rewritings, mode, indexSpec string, shards, workers int, timeout time.Duration) (*psi.Engine, error) {
+func buildEngine(ds []*graph.Graph, algos, rewritings, mode, indexSpec, policy string, shards, workers int, timeout time.Duration) (*psi.Engine, error) {
 	kinds, err := parseRewritings(rewritings)
 	if err != nil {
 		return nil, err
@@ -185,6 +200,7 @@ func buildEngine(ds []*graph.Graph, algos, rewritings, mode, indexSpec string, s
 		if err != nil {
 			return nil, err
 		}
+		opts.IndexPolicy = policy
 		return psi.NewDatasetEngine(ds, opts)
 	}
 	opts.Algorithms, err = parseAlgorithms(algos)

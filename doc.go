@@ -181,6 +181,51 @@
 //		Shards:  4, // answers byte-identical to Shards: 1
 //	})
 //
+// # Adaptive planning architecture
+//
+// Racing buys latency with work: every query pays for all the attempts
+// that lose. The auto policy keeps the race's tail protection while
+// recovering most of that work on repetitive traffic. A per-query-class
+// bandit (internal/predict.Bandit) buckets queries by size — log2 buckets
+// of vertex count, edge count and distinct labels — and keeps per-arm
+// evidence for each class: race wins, solo runs, budget kills and mean
+// latency, where an arm is one matcher attempt (ModeAuto on a stored
+// graph) or one filtering-index pipeline (IndexPolicy IndexAuto on a
+// dataset).
+//
+// The decision rule is race-until-confident, then solo-with-audits. A
+// class races while it has fewer than AutoMinSamples successful
+// observations (warmup), every AutoRaceEvery-th decision thereafter
+// (staleness audits: the race re-measures every arm, so a drifting
+// workload re-elects its winner), and immediately after a solo run was
+// killed by the per-query budget (escalation). Otherwise it runs the arm
+// with the best kill-penalized mean latency alone. Correctness never
+// depends on the choice: every arm is exact, so a solo answer is
+// byte-identical to the race's — the policy moves only cost and latency,
+// and a budget-killed collecting solo falls back to the full race within
+// the same query. The evidence rules are deliberately asymmetric: a
+// budget kill counts against the arm and escalates the class, while a
+// caller cancellation (client disconnect, server drain) is recorded
+// nowhere — disconnect storms carry no information about arm quality and
+// must not poison the learned statistics.
+//
+//	eng, _ := psi.NewDatasetEngine(ds, psi.EngineOptions{
+//		Indexes:     []string{"ftv", "grapes", "ggsx"},
+//		IndexPolicy: psi.IndexAuto, // learned solo, race escalation
+//	})
+//	res, _ := eng.Query(ctx, q, 0)
+//	res.Policy            // the decision this query ran under
+//	eng.PolicyStats()     // per-arm evidence snapshot (also in /stats)
+//
+// Plan.Decision and QueryResult.Policy expose each query's verdict (class,
+// solo vs race, reason); Counters adds policy_solo / policy_races /
+// policy_escalations; PolicyStats snapshots the per-arm evidence. The
+// serving layer coalesces concurrent identical queries (one execution,
+// every overlapping client gets the complete answer — see below), and
+// cmd/psibench -policysweep measures the three policies side by side under
+// uniform and skewed mixes, asserting answer parity before measuring
+// (BENCH_policy.json).
+//
 // # Serving architecture
 //
 // The serving subsystem (internal/server, fronted by cmd/psiserve) turns
@@ -206,8 +251,15 @@
 // reaches the wire. Collected responses are single JSON objects. Complete,
 // unkilled answers land in a shared LRU result cache keyed by the
 // canonical query bytes (CanonicalQueryKey); repeat queries replay from
-// memory in either response mode, marked cached:true. Engine.Counters and
-// Engine.WinCounts feed the /stats and /metrics endpoints.
+// memory in either response mode, marked cached:true. Concurrent identical
+// queries that miss the cache coalesce onto one in-flight execution: the
+// first request leads, overlapping duplicates park until it finishes and
+// replay its complete answer marked coalesced:true. Only complete unkilled
+// answers are shared — a killed or failed leader sends each follower to
+// its own execution, and a follower disconnecting never cancels the
+// leader. Engine.Counters and Engine.WinCounts feed the /stats and
+// /metrics endpoints, alongside the coalescing counters and the learned
+// policy's per-arm statistics.
 //
 // Drain. Shutdown stops admission (new queries get 503, /healthz flips),
 // waits for in-flight queries, and past the caller's deadline cancels

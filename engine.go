@@ -60,17 +60,21 @@ const (
 	// ModeSingle always plans the portfolio's first attempt alone — the
 	// fixed single-algorithm baseline the paper races against.
 	ModeSingle Mode = "single"
+	// ModeAuto plans with the traffic-aware bandit policy: per query class
+	// it runs the learned best attempt solo and escalates to a full race
+	// on unfamiliar classes, on staleness, or after a budget-killed solo.
+	ModeAuto Mode = "auto"
 )
 
 // ParseMode converts a -mode flag value into a Mode.
 func ParseMode(s string) (Mode, error) {
 	switch Mode(s) {
-	case ModeRace, ModePredict, ModeSingle:
+	case ModeRace, ModePredict, ModeSingle, ModeAuto:
 		return Mode(s), nil
 	case "":
 		return ModeRace, nil
 	}
-	return "", fmt.Errorf("psi: unknown mode %q (want race, predict or single)", s)
+	return "", fmt.Errorf("psi: unknown mode %q (want race, predict, single or auto)", s)
 }
 
 // EngineOptions configures NewEngine and NewDatasetEngine. The zero value
@@ -97,9 +101,18 @@ type EngineOptions struct {
 	// WarmupRaces is how many initial queries ModePredict races in full to
 	// gather training signal; 0 means 8.
 	WarmupRaces int
-	// SoloBudget caps a predicted attempt's solo run before ModePredict
-	// falls back to a full race; 0 means 50ms.
+	// SoloBudget caps a predicted (or auto-policy) attempt's solo run
+	// before it falls back to a full race; 0 means 50ms.
 	SoloBudget time.Duration
+
+	// AutoMinSamples is how many successful observations a query class
+	// needs before the auto policy (ModeAuto / IndexAuto) may run it solo;
+	// 0 means 3.
+	AutoMinSamples int
+	// AutoRaceEvery forces every Nth auto-policy decision of a class to a
+	// full re-race so the learned statistics cannot go stale; 0 means 16,
+	// negative disables staleness races.
+	AutoRaceEvery int
 
 	// Index selects the FTV index for dataset engines: "grapes"
 	// (default), "ggsx" or "ftv" (the flat path index). Ignored when
@@ -114,7 +127,9 @@ type EngineOptions struct {
 	Indexes []string
 	// IndexPolicy says how a dataset engine uses its portfolio:
 	// IndexRace (default with ≥ 2 indexes) races every index per query;
-	// IndexFixed (default with 1) always consults the first.
+	// IndexFixed (default with 1) always consults the first; IndexAuto
+	// learns per query class which index to run solo and races only when
+	// uncertain (unfamiliar class, staleness, or a budget-killed solo).
 	IndexPolicy string
 	// IndexWorkers is the Grapes verification worker count (the paper's
 	// Grapes/1 vs Grapes/4); 0 means 1. Other kinds ignore it.
@@ -140,6 +155,11 @@ const (
 	IndexRace = "race"
 	// IndexFixed always consults the portfolio's first index.
 	IndexFixed = "fixed"
+	// IndexAuto runs the learned best index solo per query class, racing
+	// the full portfolio only when uncertain. Answers are identical to
+	// IndexRace in every case: all indexes are exact, so any arm computes
+	// the same ascending graph IDs.
+	IndexAuto = "auto"
 )
 
 // ParseIndexSpec converts an -index flag value into an index-kind list:
@@ -206,6 +226,10 @@ type Engine struct {
 	solo     time.Duration
 	seen     atomic.Int64
 
+	// Auto-policy state (ModeAuto / IndexAuto): the per-query-class
+	// solo-vs-race bandit, nil under every other policy.
+	bandit *predict.Bandit
+
 	// FTV state.
 	ds       []*Graph
 	indexes  []FilterIndex
@@ -251,7 +275,22 @@ func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
 	e.racer.Validate = opts.Validate
 	e.attempts = core.Portfolio(e.matchers, engineRewritings(opts))
 	e.model = &predict.Predictor{}
+	if e.mode == ModeAuto {
+		names := make([]string, len(e.attempts))
+		for i, a := range e.attempts {
+			names[i] = a.Label()
+		}
+		e.bandit = predict.NewBandit(names, banditOptions(opts))
+	}
 	return e, nil
+}
+
+// banditOptions maps the engine options onto the policy's knobs.
+func banditOptions(opts EngineOptions) predict.BanditOptions {
+	return predict.BanditOptions{
+		MinSamples: opts.AutoMinSamples,
+		RaceEvery:  opts.AutoRaceEvery,
+	}
 }
 
 // NewDatasetEngine builds an FTV engine serving containment queries against
@@ -304,11 +343,11 @@ func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
 		} else {
 			e.ixPolicy = IndexFixed
 		}
-	case IndexRace, IndexFixed:
+	case IndexRace, IndexFixed, IndexAuto:
 		e.ixPolicy = opts.IndexPolicy
 	default:
 		e.Close()
-		return nil, fmt.Errorf("psi: unknown index policy %q (want %q or %q)", opts.IndexPolicy, IndexRace, IndexFixed)
+		return nil, fmt.Errorf("psi: unknown index policy %q (want %q, %q or %q)", opts.IndexPolicy, IndexRace, IndexFixed, IndexAuto)
 	}
 	for _, kind := range kinds {
 		x, berr := index.Build(context.Background(), kind, ds, index.Options{
@@ -328,9 +367,16 @@ func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
 		}
 		e.indexes = append(e.indexes, x)
 	}
-	if e.ixPolicy == IndexRace && len(e.indexes) >= 2 {
+	if (e.ixPolicy == IndexRace || e.ixPolicy == IndexAuto) && len(e.indexes) >= 2 {
 		e.ixRacer = core.NewIndexRacer(e.indexes, engineRewritings(opts))
 		e.ixRacer.Pool = e.pool
+		if e.ixPolicy == IndexAuto {
+			names := make([]string, len(e.indexes))
+			for i, x := range e.indexes {
+				names[i] = x.Name()
+			}
+			e.bandit = predict.NewBandit(names, banditOptions(opts))
+		}
 		return e, nil
 	}
 	e.ixPolicy = IndexFixed
@@ -539,6 +585,66 @@ const (
 	PlanFTV PlanKind = "ftv"
 )
 
+// PolicyDecision reports how the auto policy planned one query: the
+// query's traffic class, whether it runs one learned arm solo or races the
+// full portfolio, and why. Carried on Plan.Decision and QueryResult.Policy
+// for engines under ModeAuto / IndexAuto, nil everywhere else.
+type PolicyDecision struct {
+	// Class is the query's traffic class (log-bucketed size/shape key).
+	Class string `json:"class"`
+	// Solo is true when one arm runs alone; false means a full race.
+	Solo bool `json:"solo"`
+	// Arm is the portfolio position of the solo arm (valid when Solo).
+	Arm int `json:"arm"`
+	// ArmName labels the solo arm ("Grapes/1", "GQL-DND"); empty on races.
+	ArmName string `json:"arm_name,omitempty"`
+	// Reason says why: "learned" for solo; "warmup", "stale" or
+	// "escalated" for races.
+	Reason string `json:"reason"`
+
+	// observed marks that the execution already fed the bandit (solo
+	// completion, in-query fallback, or race win), so the post-budget kill
+	// hook must not double-record.
+	observed bool
+}
+
+// PolicySnapshot is a point-in-time copy of an auto-policy engine's learned
+// state: observed class count, pending escalations, per-arm evidence.
+type PolicySnapshot = predict.BanditSnapshot
+
+// PolicyArmSummary is one portfolio arm's aggregated evidence inside a
+// PolicySnapshot: race wins, solo runs, kills, mean first-result latency.
+type PolicyArmSummary = predict.ArmSummary
+
+// PolicyStats reports the auto policy's learned state; ok is false for
+// engines not under ModeAuto / IndexAuto. Safe to call while queries are in
+// flight — the feed for a serving layer's /stats endpoint.
+func (e *Engine) PolicyStats() (PolicySnapshot, bool) {
+	if e.bandit == nil {
+		return PolicySnapshot{}, false
+	}
+	return e.bandit.Snapshot(), true
+}
+
+// decide runs the bandit for one query, translating the policy's verdict
+// into the exported decision record. Returns nil when the engine is not
+// under the auto policy.
+func (e *Engine) decide(q *Graph) *PolicyDecision {
+	if e.bandit == nil {
+		return nil
+	}
+	d := e.bandit.Decide(predict.ClassKey(q))
+	pd := &PolicyDecision{Class: d.Class, Solo: d.Solo, Arm: d.Arm, Reason: d.Reason}
+	if d.Solo {
+		if e.g != nil {
+			pd.ArmName = e.attempts[d.Arm].Label()
+		} else {
+			pd.ArmName = e.indexes[d.Arm].Name()
+		}
+	}
+	return pd
+}
+
 // Plan is an executable query plan produced by Engine.Plan. Plans are
 // cheap, single-use value carriers: planning touches no stored-graph data
 // beyond the O(|q|) feature vector.
@@ -560,6 +666,9 @@ type Plan struct {
 	Indexes []string
 	// Deadline is the per-query cap Execute will enforce (0: none).
 	Deadline time.Duration
+	// Decision is the auto policy's solo-vs-race verdict for this query
+	// (ModeAuto / IndexAuto engines only, nil otherwise).
+	Decision *PolicyDecision
 
 	features predict.Features
 	engine   *Engine
@@ -576,6 +685,7 @@ func (e *Engine) Plan(q *Graph) (*Plan, error) {
 	if e.g == nil {
 		p.Kind = PlanFTV
 		p.IndexPolicy = e.ixPolicy
+		p.Decision = e.decide(q)
 		for _, x := range e.indexes {
 			p.Indexes = append(p.Indexes, x.Name())
 		}
@@ -585,6 +695,16 @@ func (e *Engine) Plan(q *Graph) (*Plan, error) {
 	case ModeSingle:
 		p.Kind = PlanFixed
 		p.Attempts = e.attempts[:1]
+	case ModeAuto:
+		p.Decision = e.decide(q)
+		if p.Decision.Solo {
+			p.Kind = PlanPredicted
+			p.Predicted = p.Decision.Arm
+			p.Attempts = e.attempts[p.Predicted : p.Predicted+1]
+		} else {
+			p.Kind = PlanRace
+			p.Attempts = e.attempts
+		}
 	case ModePredict:
 		p.features = predict.Featurize(q, e.racer.Frequencies)
 		p.Kind = PlanRace
@@ -626,9 +746,13 @@ type QueryResult struct {
 	// matcher attempts behind Winner.
 	IndexAttempts []IndexAttempt
 	// Kind echoes the executed plan's strategy; FellBack marks a
-	// predicted plan that overran its solo budget and re-ran as a race.
+	// predicted (or auto-solo) plan that overran its solo budget and
+	// re-ran as a race.
 	Kind     PlanKind
 	FellBack bool
+	// Policy echoes the auto policy's decision for this query (ModeAuto /
+	// IndexAuto engines only, nil otherwise).
+	Policy *PolicyDecision
 	// Elapsed is the measured execution time; when the engine has a
 	// deadline, Killed marks queries that hit it (Elapsed is then clamped
 	// to the cap, the substitution the paper's methodology prescribes)
@@ -694,7 +818,7 @@ func (e *Engine) execute(ctx context.Context, p *Plan, limit int, sink Sink) (*Q
 	if sink != nil {
 		e.counters.Streamed.Add(1)
 	}
-	res := &QueryResult{Kind: p.Kind}
+	res := &QueryResult{Kind: p.Kind, Policy: p.Decision}
 	streamed := 0
 	if sink != nil {
 		// Count what actually reaches the caller, so a killed streaming
@@ -730,6 +854,7 @@ func (e *Engine) execute(ctx context.Context, p *Plan, limit int, sink Sink) (*Q
 			// cannot be retracted from the sink.
 			res.Embeddings, res.GraphIDs = nil, nil
 			res.Found = streamed
+			e.observeKill(res)
 		}
 		e.tally(res)
 		return res, nil
@@ -745,6 +870,20 @@ func (e *Engine) execute(ctx context.Context, p *Plan, limit int, sink Sink) (*Q
 	return res, nil
 }
 
+// observeKill feeds a budget-killed solo run into the bandit as evidence
+// against the arm — unless the execution already recorded its own outcome
+// (an in-query fallback observed the kill before re-racing). Caller
+// cancellations never reach here: they surface as errors, not kills, so a
+// client disconnect leaves the learned statistics untouched.
+func (e *Engine) observeKill(res *QueryResult) {
+	d := res.Policy
+	if e.bandit == nil || d == nil || !d.Solo || d.observed {
+		return
+	}
+	d.observed = true
+	e.bandit.ObserveKill(d.Class, d.Arm)
+}
+
 // tally folds one finished (possibly killed) result into the engine's
 // operational counters.
 func (e *Engine) tally(res *QueryResult) {
@@ -758,12 +897,26 @@ func (e *Engine) tally(res *QueryResult) {
 		}
 	}
 	e.recordWin(res.Winner)
-	if n := len(res.IndexAttempts); n > 0 {
+	// A single recorded attempt is a solo pipeline, not a race: it counts
+	// toward the started-work total but not the race tally.
+	if n := len(res.IndexAttempts); n > 1 {
 		e.counters.IndexRaces.Add(1)
 		e.counters.IndexAttempts.Add(int64(n))
+	} else if n == 1 {
+		e.counters.IndexAttempts.Add(1)
 	}
 	if res.FellBack {
 		e.counters.Fallbacks.Add(1)
+	}
+	if d := res.Policy; d != nil {
+		if d.Solo {
+			e.counters.PolicySolo.Add(1)
+		} else {
+			e.counters.PolicyRaces.Add(1)
+			if d.Reason == predict.ReasonEscalated {
+				e.counters.PolicyEscalations.Add(1)
+			}
+		}
 	}
 }
 
@@ -786,9 +939,17 @@ func (e *Engine) runRace(ctx context.Context, q *Graph, attempts []Attempt, limi
 	res.Embeddings = r.Embeddings
 	res.Found = r.Found
 	res.Winner = r.Winner.Label()
-	if e.mode == ModePredict && len(attempts) == len(e.attempts) {
-		e.model.Observe(feats, r.WinnerIndex)
-		e.seen.Add(1)
+	if len(attempts) == len(e.attempts) {
+		switch {
+		case e.mode == ModePredict:
+			e.model.Observe(feats, r.WinnerIndex)
+			e.seen.Add(1)
+		case e.bandit != nil && res.Policy != nil:
+			// A full auto-policy race trains the bandit with the winner's
+			// first-result latency (and clears any kill escalation).
+			res.Policy.observed = true
+			e.bandit.ObserveRaceWin(res.Policy.Class, r.WinnerIndex, r.Elapsed)
+		}
 	}
 	return nil
 }
@@ -822,11 +983,21 @@ func (e *Engine) runPredicted(ctx context.Context, p *Plan, limit int, sink Sink
 		res.Found = r.Found
 		res.Winner = att[0].Label()
 		e.counters.PredictedSolo.Add(1)
-		e.model.Observe(p.features, p.Predicted)
+		if d := res.Policy; e.bandit != nil && d != nil {
+			d.observed = true
+			e.bandit.ObserveSolo(d.Class, d.Arm, r.Elapsed)
+		} else {
+			e.model.Observe(p.features, p.Predicted)
+		}
 		return nil
 	}
 	if ctx.Err() != nil {
 		return ctx.Err() // the caller's context died, not the solo budget
+	}
+	// The solo budget expired: evidence against the learned arm.
+	if d := res.Policy; e.bandit != nil && d != nil {
+		d.observed = true
+		e.bandit.ObserveKill(d.Class, d.Arm)
 	}
 	if emitted > 0 {
 		return err // committed: partial output already reached the sink
@@ -837,19 +1008,42 @@ func (e *Engine) runPredicted(ctx context.Context, p *Plan, limit int, sink Sink
 
 // runFTV answers a containment query. Under the race policy every
 // configured index runs its streaming filter→verify pipeline concurrently
-// and the first verified emission wins; under the fixed policy the primary
-// index answers through the cache (when enabled) or the raced verifier.
+// and the first verified emission wins; under the auto policy a learned
+// solo pipeline runs first when the bandit trusts one (falling back to the
+// full race if it overruns the solo budget); under the fixed policy the
+// primary index answers through the cache (when enabled) or the raced
+// verifier.
 func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
 	if e.ixRacer != nil {
+		if d := p.Decision; d != nil && d.Solo {
+			// A collected solo buffers its IDs internally, so a fallback
+			// discards a partial answer no caller ever saw — always safe.
+			soloCtx, cancel := context.WithTimeout(ctx, e.solo)
+			r, err := e.ixRacer.AnswerArm(soloCtx, p.Query, d.Arm)
+			cancel()
+			if err == nil {
+				d.observed = true
+				e.bandit.ObserveSolo(d.Class, d.Arm, r.Elapsed)
+				e.finishIndexResult(res, r)
+				return nil
+			}
+			if ctx.Err() != nil {
+				return ctx.Err() // budget kill or caller cancel, not the solo budget
+			}
+			d.observed = true
+			e.bandit.ObserveKill(d.Class, d.Arm)
+			e.counters.IndexAttempts.Add(1) // the abandoned solo still ran
+			res.FellBack = true
+		}
 		r, err := e.ixRacer.Answer(ctx, p.Query)
 		if err != nil {
 			return err
 		}
-		res.GraphIDs = r.GraphIDs
-		res.Found = len(r.GraphIDs)
-		res.Winner = r.Winner
-		res.IndexAttempts = r.Attempts
-		e.tallyShardIDs(res.GraphIDs)
+		if d := p.Decision; d != nil && e.bandit != nil {
+			d.observed = true
+			e.bandit.ObserveRaceWin(d.Class, r.WinnerIndex, r.Attempts[r.WinnerIndex].Elapsed)
+		}
+		e.finishIndexResult(res, r)
 		return nil
 	}
 	var (
@@ -870,6 +1064,16 @@ func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
 	res.Found = len(ids)
 	e.tallyShardIDs(ids)
 	return nil
+}
+
+// finishIndexResult copies an index race (or solo arm) outcome into the
+// query result and attributes the answer to its shards.
+func (e *Engine) finishIndexResult(res *QueryResult, r core.IndexRaceResult) {
+	res.GraphIDs = r.GraphIDs
+	res.Found = len(r.GraphIDs)
+	res.Winner = r.Winner
+	res.IndexAttempts = r.Attempts
+	e.tallyShardIDs(res.GraphIDs)
 }
 
 // ErrKilled reports a streamed query that hit the engine's per-query kill
@@ -914,7 +1118,7 @@ func (e *Engine) AnswerStreamResult(ctx context.Context, q *Graph, emit func(gra
 	}
 	e.counters.Queries.Add(1)
 	e.counters.Streamed.Add(1)
-	res := &QueryResult{Kind: PlanFTV}
+	res := &QueryResult{Kind: PlanFTV, Policy: e.decide(q)}
 	streamed := 0
 	counting := func(id int) bool {
 		streamed++
@@ -923,9 +1127,40 @@ func (e *Engine) AnswerStreamResult(ctx context.Context, q *Graph, emit func(gra
 	}
 	run := func(runCtx context.Context) error {
 		if e.ixRacer != nil {
+			if d := res.Policy; d != nil && d.Solo {
+				soloCtx, cancel := context.WithTimeout(runCtx, e.solo)
+				before := streamed
+				r, err := e.ixRacer.AnswerStreamArm(soloCtx, q, d.Arm, counting)
+				cancel()
+				if err == nil {
+					d.observed = true
+					e.bandit.ObserveSolo(d.Class, d.Arm, r.Elapsed)
+					res.Winner = r.Winner
+					res.IndexAttempts = r.Attempts
+					return nil
+				}
+				if runCtx.Err() != nil {
+					return runCtx.Err() // budget kill or caller cancel
+				}
+				d.observed = true
+				e.bandit.ObserveKill(d.Class, d.Arm)
+				if streamed > before {
+					// Committed: IDs already reached the caller, and a
+					// fallback race would replay the ascending stream from
+					// the start. The overrun surfaces as the solo deadline
+					// error — a kill on a budgeted engine.
+					return err
+				}
+				e.counters.IndexAttempts.Add(1) // the abandoned solo still ran
+				res.FellBack = true
+			}
 			r, err := e.ixRacer.AnswerStream(runCtx, q, counting)
 			if err != nil {
 				return err
+			}
+			if d := res.Policy; d != nil && e.bandit != nil {
+				d.observed = true
+				e.bandit.ObserveRaceWin(d.Class, r.WinnerIndex, r.Attempts[r.WinnerIndex].Elapsed)
 			}
 			res.Winner = r.Winner
 			res.IndexAttempts = r.Attempts
@@ -941,6 +1176,9 @@ func (e *Engine) AnswerStreamResult(ctx context.Context, q *Graph, emit func(gra
 		if t.Err != nil {
 			e.counters.Errors.Add(1)
 			return nil, t.Err
+		}
+		if t.Killed {
+			e.observeKill(res)
 		}
 		res.Found = streamed
 		e.tally(res)

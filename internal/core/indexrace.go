@@ -163,6 +163,60 @@ func (r *IndexRacer) Answer(ctx context.Context, q *graph.Graph) (IndexRaceResul
 	return res, nil
 }
 
+// AnswerArm runs a single portfolio arm's pipeline alone — no race, no
+// adoption — and collects its ascending graph IDs. This is the execution a
+// learned planning policy buys when it trusts one index for a query class:
+// the answer is identical to a full race's (every index is exact) at 1/n of
+// the started work.
+func (r *IndexRacer) AnswerArm(ctx context.Context, q *graph.Graph, arm int) (IndexRaceResult, error) {
+	var out []int
+	res, err := r.AnswerStreamArm(ctx, q, arm, func(id int) bool {
+		out = append(out, id)
+		return true
+	})
+	if err != nil {
+		return IndexRaceResult{}, err
+	}
+	res.GraphIDs = out
+	return res, nil
+}
+
+// AnswerStreamArm is AnswerArm with the verified graph IDs streamed into
+// emit in ascending order. The solo pipeline runs on the racer's shared
+// pool: with no contending attempts there is nothing to starve.
+func (r *IndexRacer) AnswerStreamArm(ctx context.Context, q *graph.Graph, arm int, emit func(graphID int) bool) (IndexRaceResult, error) {
+	if arm < 0 || arm >= len(r.racers) {
+		return IndexRaceResult{}, fmt.Errorf("psi: index arm %d out of range [0,%d)", arm, len(r.racers))
+	}
+	start := time.Now()
+	fr := &FTVRacer{
+		Index:       r.racers[arm].Index,
+		Rewritings:  r.racers[arm].Rewritings,
+		Frequencies: r.racers[arm].Frequencies,
+		Pool:        r.Pool,
+	}
+	emitted := 0
+	err := fr.AnswerStream(ctx, q, func(id int) bool {
+		emitted++
+		return emit(id)
+	})
+	if err != nil {
+		return IndexRaceResult{}, err
+	}
+	elapsed := time.Since(start)
+	return IndexRaceResult{
+		Winner:      r.Indexes[arm].Name(),
+		WinnerIndex: arm,
+		Elapsed:     elapsed,
+		Attempts: []IndexAttempt{{
+			Name:    r.Indexes[arm].Name(),
+			Winner:  true,
+			Emitted: emitted,
+			Elapsed: elapsed,
+		}},
+	}, nil
+}
+
 // AnswerStream races every index's streaming filter→verify pipeline and
 // streams the adopted winner's verified graph IDs into emit, in ascending
 // order. The first index to emit a verified candidate claims the output

@@ -132,9 +132,19 @@ type Counters struct {
 	// IndexRaces counts dataset queries answered by racing the full
 	// filtering-index portfolio.
 	IndexRaces atomic.Int64
-	// IndexAttempts counts filtering-index pipelines started inside index
-	// races (portfolio size summed over raced queries).
+	// IndexAttempts counts filtering-index pipelines started (portfolio
+	// size summed over raced queries, one per solo run) — the
+	// CPU-normalized work behind every answer.
 	IndexAttempts atomic.Int64
+	// PolicySolo counts auto-policy queries planned as a single learned
+	// arm instead of a full race.
+	PolicySolo atomic.Int64
+	// PolicyRaces counts auto-policy queries that raced the full portfolio
+	// (warmup, staleness or kill escalation).
+	PolicyRaces atomic.Int64
+	// PolicyEscalations counts the subset of PolicyRaces forced by a prior
+	// budget-killed solo attempt of the same query class.
+	PolicyEscalations atomic.Int64
 	// ShardedQueries counts dataset queries answered through a sharded
 	// (partitioned) index portfolio.
 	ShardedQueries atomic.Int64
@@ -145,34 +155,40 @@ type Counters struct {
 
 // CountersSnapshot is a plain-value copy of Counters, safe to serialize.
 type CountersSnapshot struct {
-	Queries        int64 `json:"queries"`
-	Streamed       int64 `json:"streamed"`
-	Killed         int64 `json:"killed"`
-	Errors         int64 `json:"errors"`
-	RaceAttempts   int64 `json:"race_attempts"`
-	PredictedSolo  int64 `json:"predicted_solo"`
-	Fallbacks      int64 `json:"fallbacks"`
-	IndexRaces     int64 `json:"index_races"`
-	IndexAttempts  int64 `json:"index_attempts"`
-	ShardedQueries int64 `json:"sharded_queries"`
-	ShardedKilled  int64 `json:"sharded_killed"`
+	Queries           int64 `json:"queries"`
+	Streamed          int64 `json:"streamed"`
+	Killed            int64 `json:"killed"`
+	Errors            int64 `json:"errors"`
+	RaceAttempts      int64 `json:"race_attempts"`
+	PredictedSolo     int64 `json:"predicted_solo"`
+	Fallbacks         int64 `json:"fallbacks"`
+	IndexRaces        int64 `json:"index_races"`
+	IndexAttempts     int64 `json:"index_attempts"`
+	PolicySolo        int64 `json:"policy_solo"`
+	PolicyRaces       int64 `json:"policy_races"`
+	PolicyEscalations int64 `json:"policy_escalations"`
+	ShardedQueries    int64 `json:"sharded_queries"`
+	ShardedKilled     int64 `json:"sharded_killed"`
 }
 
 // Snapshot returns a point-in-time copy of every counter. Counters keep
 // moving while the snapshot is taken; each field is individually exact.
 func (c *Counters) Snapshot() CountersSnapshot {
 	return CountersSnapshot{
-		Queries:        c.Queries.Load(),
-		Streamed:       c.Streamed.Load(),
-		Killed:         c.Killed.Load(),
-		Errors:         c.Errors.Load(),
-		RaceAttempts:   c.RaceAttempts.Load(),
-		PredictedSolo:  c.PredictedSolo.Load(),
-		Fallbacks:      c.Fallbacks.Load(),
-		IndexRaces:     c.IndexRaces.Load(),
-		IndexAttempts:  c.IndexAttempts.Load(),
-		ShardedQueries: c.ShardedQueries.Load(),
-		ShardedKilled:  c.ShardedKilled.Load(),
+		Queries:           c.Queries.Load(),
+		Streamed:          c.Streamed.Load(),
+		Killed:            c.Killed.Load(),
+		Errors:            c.Errors.Load(),
+		RaceAttempts:      c.RaceAttempts.Load(),
+		PredictedSolo:     c.PredictedSolo.Load(),
+		Fallbacks:         c.Fallbacks.Load(),
+		IndexRaces:        c.IndexRaces.Load(),
+		IndexAttempts:     c.IndexAttempts.Load(),
+		PolicySolo:        c.PolicySolo.Load(),
+		PolicyRaces:       c.PolicyRaces.Load(),
+		PolicyEscalations: c.PolicyEscalations.Load(),
+		ShardedQueries:    c.ShardedQueries.Load(),
+		ShardedKilled:     c.ShardedKilled.Load(),
 	}
 }
 

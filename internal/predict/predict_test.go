@@ -178,3 +178,84 @@ func TestAdaptiveHonorsParentContext(t *testing.T) {
 		t.Error("expected context error")
 	}
 }
+
+// collectSink gathers streamed embeddings.
+type collectSink struct{ embs []match.Embedding }
+
+func (s *collectSink) Emit(e match.Embedding) bool {
+	s.embs = append(s.embs, append(match.Embedding(nil), e...))
+	return true
+}
+
+func TestAdaptiveMatchStreamCorrectness(t *testing.T) {
+	g := gen.YeastLike(gen.Tiny, 8)
+	a := newAdaptive(g)
+	a.WarmupRaces = 3
+	a.SoloBudget = 100 * time.Millisecond
+	ref := vf2.New(g)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 12; i++ {
+		q := workload.Extract(r, g, 4+r.Intn(5))
+		want, err := ref.Match(context.Background(), q, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink collectSink
+		if err := a.MatchStream(context.Background(), q, 500, &sink); err != nil {
+			t.Fatal(err)
+		}
+		if len(sink.embs) != len(want) {
+			t.Fatalf("query %d: streamed %d embeddings, reference %d", i, len(sink.embs), len(want))
+		}
+		for _, e := range sink.embs {
+			if err := match.VerifyEmbedding(q, g, e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if a.Model.Samples() == 0 {
+		t.Error("streaming runs should train the model")
+	}
+}
+
+func TestAdaptiveMatchStreamFallsBackOnTinySoloBudget(t *testing.T) {
+	g := gen.YeastLike(gen.Tiny, 10)
+	a := newAdaptive(g)
+	a.WarmupRaces = 1
+	a.SoloBudget = time.Nanosecond
+	r := rand.New(rand.NewSource(11))
+	ref := vf2.New(g)
+	for i := 0; i < 4; i++ {
+		q := workload.Extract(r, g, 5)
+		want, err := ref.Match(context.Background(), q, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink collectSink
+		if err := a.MatchStream(context.Background(), q, 200, &sink); err != nil {
+			t.Fatal(err)
+		}
+		if len(sink.embs) != len(want) {
+			t.Fatalf("query %d: streamed %d, reference %d", i, len(sink.embs), len(want))
+		}
+	}
+	_, solo, fell := a.Stats()
+	if solo != 0 {
+		t.Errorf("solo = %d, want 0 with nanosecond budget", solo)
+	}
+	if fell == 0 {
+		t.Error("expected streaming fallbacks")
+	}
+}
+
+func TestAdaptiveMatchStreamHonorsParentContext(t *testing.T) {
+	g := gen.YeastLike(gen.Tiny, 12)
+	a := newAdaptive(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := workload.Extract(rand.New(rand.NewSource(13)), g, 10)
+	var sink collectSink
+	if err := a.MatchStream(ctx, q, 100, &sink); err == nil {
+		t.Error("expected context error")
+	}
+}

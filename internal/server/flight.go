@@ -1,0 +1,65 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flight is one in-progress execution of a query key. The leader — the
+// request that opened the flight — runs the engine; followers park on done.
+// When the leader finishes, ans holds the complete answer it is willing to
+// share, or nil when there is nothing shareable (execution error, killed
+// result, client gone mid-stream) and each follower must run the query
+// itself.
+//
+// ans is written by the leader before done is closed and read by followers
+// only after done is closed, so it needs no lock of its own.
+type flight struct {
+	done chan struct{}
+	ans  *cachedAnswer
+	// waiters counts the followers parked on done, for observability and
+	// for tests that need to hold a leader until its followers arrive.
+	waiters atomic.Int32
+}
+
+// flightGroup deduplicates concurrent identical queries: all requests for
+// the same key that overlap in time share one engine execution. It is the
+// serving layer's singleflight, keyed like the result cache (canonical
+// query bytes + result limit), so two requests share a flight exactly when
+// they would share a cache entry.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// join enters the flight for key, opening one if none is in progress.
+// The second return reports leadership: the leader must execute the query
+// and finish the flight exactly once; a follower waits on fl.done.
+func (g *flightGroup) join(key string) (fl *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fl, ok := g.flights[key]; ok {
+		fl.waiters.Add(1)
+		return fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	g.flights[key] = fl
+	return fl, true
+}
+
+// finish completes a flight: it publishes ans (nil when the execution
+// produced nothing shareable) and releases the waiting followers. The key
+// is unmapped before done is closed, so a request arriving after the
+// answer was decided starts a fresh flight — it never replays a finished
+// one, that replay is the result cache's job.
+func (g *flightGroup) finish(key string, fl *flight, ans *cachedAnswer) {
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	fl.ans = ans
+	close(fl.done)
+}

@@ -37,6 +37,7 @@ type QueryResponse struct {
 	Killed     bool            `json:"killed,omitempty"`
 	FellBack   bool            `json:"fell_back,omitempty"`
 	Cached     bool            `json:"cached,omitempty"`
+	Coalesced  bool            `json:"coalesced,omitempty"`
 }
 
 // StreamSummary is the final NDJSON line of a streamed /query response.
@@ -49,6 +50,7 @@ type StreamSummary struct {
 	ElapsedUS int64  `json:"elapsed_us"`
 	Killed    bool   `json:"killed,omitempty"`
 	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
 	Error     string `json:"error,omitempty"`
 }
 
@@ -122,8 +124,8 @@ func (s *Server) cacheKey(q *psi.Graph, limit int) string {
 	return fmt.Sprintf("l%d|%s", limit, psi.CanonicalQueryKey(q))
 }
 
-// handleQuery is the /query endpoint: admission, parse, cache lookup, then
-// a collected JSON answer or an NDJSON stream.
+// handleQuery is the /query endpoint: admission, parse, cache lookup,
+// in-flight coalescing, then a collected JSON answer or an NDJSON stream.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	release, status := s.admit()
 	if status != 0 {
@@ -148,30 +150,76 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, s.effectiveTimeout(req.timeout))
 	defer cancel()
 
+	// The cache and the flight group share one key: two requests coalesce
+	// exactly when they would hit the same cache entry. ?cache=0 opts out
+	// of both — it demands a fresh execution.
 	key := ""
-	if s.cache != nil && req.cache {
+	coalesce := !s.opts.NoCoalesce && req.cache
+	if req.cache && (s.cache != nil || coalesce) {
 		key = s.cacheKey(q, req.limit)
+	}
+	if s.cache != nil && key != "" {
 		if ans, ok := s.cache.get(key); ok {
-			s.respondCached(ctx, w, req, q, ans)
+			s.replayAnswer(ctx, w, req, q, ans, replayCached)
 			return
 		}
 	}
-	if req.stream {
-		s.streamQuery(ctx, w, req, q, key)
-		return
+	if coalesce {
+		fl, leader := s.flights.join(key)
+		if !leader {
+			select {
+			case <-fl.done:
+				if fl.ans != nil {
+					s.coalesced.Add(1)
+					s.replayAnswer(ctx, w, req, q, fl.ans, replayCoalesced)
+					return
+				}
+				// The leader had nothing shareable (error, killed, or its
+				// client vanished mid-stream): run the query ourselves.
+				s.coalescedFallbacks.Add(1)
+			case <-ctx.Done():
+				writeQueryError(w, ctx.Err())
+				return
+			}
+		} else {
+			// Leader: the deferred finish releases followers even if the
+			// execution path panics — they fall back rather than hang.
+			var ans *cachedAnswer
+			defer func() { s.flights.finish(key, fl, ans) }()
+			if s.leaderHook != nil {
+				s.leaderHook(fl)
+			}
+			ans = s.runQuery(ctx, w, req, q, key)
+			return
+		}
 	}
-	s.collectQuery(ctx, w, req, q, key)
+	s.runQuery(ctx, w, req, q, key)
 }
 
-// collectQuery runs the plan to completion and answers with one JSON object.
-func (s *Server) collectQuery(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, key string) {
+// runQuery executes the query in the requested response mode and returns
+// the answer when it is complete and shareable (unkilled, no error, the
+// client received every line), nil otherwise.
+func (s *Server) runQuery(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, key string) *cachedAnswer {
+	if req.stream {
+		return s.streamQuery(ctx, w, req, q, key)
+	}
+	return s.collectQuery(ctx, w, req, q, key)
+}
+
+// collectQuery runs the plan to completion and answers with one JSON
+// object, returning the answer when it is complete and shareable.
+func (s *Server) collectQuery(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, key string) *cachedAnswer {
 	res, err := s.eng.Query(ctx, q, req.limit)
 	if err != nil {
 		writeQueryError(w, err)
-		return
+		return nil
 	}
-	if key != "" && !res.Killed {
-		s.cache.put(key, answerFromResult(res))
+	var ans *cachedAnswer
+	if !res.Killed {
+		ans = answerFromResult(res)
+		if s.cache != nil && key != "" {
+			s.cache.put(key, ans)
+		}
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Query:      q.Name(),
@@ -184,6 +232,7 @@ func (s *Server) collectQuery(ctx context.Context, w http.ResponseWriter, req qu
 		Killed:     res.Killed,
 		FellBack:   res.FellBack,
 	})
+	return ans
 }
 
 // writeQueryError maps an execution error onto an HTTP status: deadline
@@ -275,9 +324,12 @@ type graphIDLine struct {
 }
 
 // streamQuery answers with NDJSON: result lines as the engine emits them,
-// then a summary line. Complete unkilled answers fill the result cache, so
-// repeat queries replay from memory in either response mode.
-func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, key string) {
+// then a summary line. Complete unkilled answers fill the result cache —
+// and are returned for the flight group — so repeat and concurrent
+// duplicates replay from memory in either response mode. A stream whose
+// client stopped reading is incomplete by definition and shared with
+// no one.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, key string) *cachedAnswer {
 	lw := newLineWriter(ctx, w)
 	defer lw.release()
 	var (
@@ -302,12 +354,13 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req que
 	}
 	if err != nil {
 		lw.writeLine(StreamSummary{Error: err.Error()})
-		return
+		return nil
 	}
 	ans.kind = string(res.Kind)
 	ans.winner = res.Winner
 	ans.found = res.Found
-	if key != "" && !res.Killed && !lw.failed() {
+	shareable := !res.Killed && !lw.failed()
+	if shareable && s.cache != nil && key != "" {
 		s.cache.put(key, ans)
 	}
 	lw.writeLine(StreamSummary{
@@ -317,10 +370,25 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req que
 		ElapsedUS: res.Elapsed.Microseconds(),
 		Killed:    res.Killed,
 	})
+	if !shareable {
+		return nil
+	}
+	return ans
 }
 
-// respondCached replays a remembered answer in the requested response mode.
-func (s *Server) respondCached(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, ans *cachedAnswer) {
+// replayAnswer marks where a replayed answer came from: the result cache
+// or another request's in-flight execution.
+type replaySource int
+
+const (
+	replayCached replaySource = iota
+	replayCoalesced
+)
+
+// replayAnswer replays a remembered answer in the requested response mode,
+// marked with its provenance.
+func (s *Server) replayAnswer(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, ans *cachedAnswer, src replaySource) {
+	cached, coalesced := src == replayCached, src == replayCoalesced
 	if req.stream {
 		lw := newLineWriter(ctx, w)
 		defer lw.release()
@@ -337,15 +405,16 @@ func (s *Server) respondCached(ctx context.Context, w http.ResponseWriter, req q
 				}
 			}
 		}
-		lw.writeLine(StreamSummary{Done: true, Found: ans.found, Winner: ans.winner, Cached: true})
+		lw.writeLine(StreamSummary{Done: true, Found: ans.found, Winner: ans.winner, Cached: cached, Coalesced: coalesced})
 		return
 	}
 	resp := QueryResponse{
-		Query:  q.Name(),
-		Kind:   ans.kind,
-		Winner: ans.winner,
-		Found:  ans.found,
-		Cached: true,
+		Query:     q.Name(),
+		Kind:      ans.kind,
+		Winner:    ans.winner,
+		Found:     ans.found,
+		Cached:    cached,
+		Coalesced: coalesced,
 	}
 	if ans.ftv {
 		resp.GraphIDs = ans.graphIDs
@@ -370,23 +439,26 @@ func answerFromResult(res *psi.QueryResult) *cachedAnswer {
 // StatsResponse is the /stats JSON schema: one consistent snapshot of the
 // serving layer and the engine beneath it.
 type StatsResponse struct {
-	UptimeSeconds float64            `json:"uptime_seconds"`
-	Mode          string             `json:"mode"`
-	IndexPolicy   string             `json:"index_policy,omitempty"`
-	DatasetGraphs int                `json:"dataset_graphs,omitempty"`
-	Shards        int                `json:"shards,omitempty"`
-	ShardBalance  []int64            `json:"shard_balance,omitempty"`
-	Draining      bool               `json:"draining"`
-	InFlight      int                `json:"in_flight"`
-	Capacity      int                `json:"capacity"`
-	Admitted      int64              `json:"admitted"`
-	Rejected      int64              `json:"rejected"`
-	Unavailable   int64              `json:"unavailable"`
-	Engine        psi.EngineCounters `json:"engine"`
-	Wins          map[string]int64   `json:"wins,omitempty"`
-	Indexes       []psi.IndexStats   `json:"indexes,omitempty"`
-	EngineCache   *ftv.CacheStats    `json:"engine_cache,omitempty"`
-	ResultCache   *cacheCounters     `json:"result_cache,omitempty"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Mode          string              `json:"mode"`
+	IndexPolicy   string              `json:"index_policy,omitempty"`
+	DatasetGraphs int                 `json:"dataset_graphs,omitempty"`
+	Shards        int                 `json:"shards,omitempty"`
+	ShardBalance  []int64             `json:"shard_balance,omitempty"`
+	Draining      bool                `json:"draining"`
+	InFlight      int                 `json:"in_flight"`
+	Capacity      int                 `json:"capacity"`
+	Admitted      int64               `json:"admitted"`
+	Rejected      int64               `json:"rejected"`
+	Unavailable   int64               `json:"unavailable"`
+	Coalesced     int64               `json:"coalesced"`
+	CoalescedFB   int64               `json:"coalesced_fallbacks"`
+	Engine        psi.EngineCounters  `json:"engine"`
+	Wins          map[string]int64    `json:"wins,omitempty"`
+	Indexes       []psi.IndexStats    `json:"indexes,omitempty"`
+	EngineCache   *ftv.CacheStats     `json:"engine_cache,omitempty"`
+	ResultCache   *cacheCounters      `json:"result_cache,omitempty"`
+	Policy        *psi.PolicySnapshot `json:"policy,omitempty"`
 }
 
 // Stats assembles the snapshot served at /stats.
@@ -404,12 +476,17 @@ func (s *Server) Stats() StatsResponse {
 		Admitted:      s.admitted.Load(),
 		Rejected:      s.rejected.Load(),
 		Unavailable:   s.unavailable.Load(),
+		Coalesced:     s.coalesced.Load(),
+		CoalescedFB:   s.coalescedFallbacks.Load(),
 		Engine:        s.eng.Counters(),
 		Wins:          s.eng.WinCounts(),
 		Indexes:       s.eng.IndexStats(),
 	}
 	if cs, ok := s.eng.CacheStats(); ok {
 		resp.EngineCache = &cs
+	}
+	if snap, ok := s.eng.PolicyStats(); ok {
+		resp.Policy = &snap
 	}
 	if s.cache != nil {
 		cc := s.cache.counters()
@@ -435,6 +512,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("psi_server_admitted_total", st.Admitted)
 	p("psi_server_rejected_total", st.Rejected)
 	p("psi_server_unavailable_total", st.Unavailable)
+	p("psi_server_coalesced_total", st.Coalesced)
+	p("psi_server_coalesced_fallbacks_total", st.CoalescedFB)
 	draining := 0
 	if st.Draining {
 		draining = 1
@@ -451,6 +530,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("psi_engine_index_attempts_total", st.Engine.IndexAttempts)
 	p("psi_engine_sharded_queries_total", st.Engine.ShardedQueries)
 	p("psi_engine_sharded_killed_total", st.Engine.ShardedKilled)
+	p("psi_engine_policy_solo_total", st.Engine.PolicySolo)
+	p("psi_engine_policy_races_total", st.Engine.PolicyRaces)
+	p("psi_engine_policy_escalations_total", st.Engine.PolicyEscalations)
+	if st.Policy != nil {
+		p("psi_engine_policy_classes", st.Policy.Classes)
+		p("psi_engine_policy_classes_escalated", st.Policy.Escalated)
+		for _, arm := range st.Policy.Arms {
+			fmt.Fprintf(w, "psi_engine_policy_arm_race_wins_total{arm=%q} %d\n", arm.Name, arm.RaceWins)
+			fmt.Fprintf(w, "psi_engine_policy_arm_solo_runs_total{arm=%q} %d\n", arm.Name, arm.SoloRuns)
+			fmt.Fprintf(w, "psi_engine_policy_arm_kills_total{arm=%q} %d\n", arm.Name, arm.Kills)
+			fmt.Fprintf(w, "psi_engine_policy_arm_mean_latency_us{arm=%q} %d\n", arm.Name, arm.MeanLatencyUS)
+		}
+	}
 	p("psi_server_shards", st.Shards)
 	for shard, n := range st.ShardBalance {
 		fmt.Fprintf(w, "psi_engine_shard_answers_total{shard=\"%d\"} %d\n", shard, n)

@@ -30,6 +30,14 @@
 //     workloads — are served from memory and marked cached:true. Partial
 //     answers (client stopped reading, kill cap hit) are never cached.
 //
+//   - In-flight coalescing. Concurrent identical queries — the cache-miss
+//     stampede the LRU cannot absorb — share one engine execution: the
+//     first request in becomes the leader, the rest park until it finishes
+//     and replay its answer marked coalesced:true. Only complete, unkilled
+//     answers are shared; when the leader fails, is killed, or loses its
+//     client mid-stream, each follower falls back to its own execution. A
+//     follower that disconnects while parked never cancels the leader.
+//
 //   - Observability. /stats is a JSON snapshot of engine counters, race win
 //     tallies, index build provenance and cache effectiveness; /metrics is
 //     the same in Prometheus text format.
@@ -70,18 +78,24 @@ type Options struct {
 	// MaxBodyBytes bounds a request body (the query graph in the module's
 	// text format); 0 means 8 MiB.
 	MaxBodyBytes int64
+	// NoCoalesce disables in-flight coalescing of concurrent identical
+	// queries. Requests carrying ?cache=0 opt out of coalescing either
+	// way: a caller that refuses a cached answer wants a fresh execution,
+	// not someone else's.
+	NoCoalesce bool
 }
 
 // Server serves queries over one long-lived Engine. Construct with New;
 // Server implements http.Handler. The Server does not own the Engine —
 // closing the Engine remains the caller's job, after Shutdown returns.
 type Server struct {
-	eng   *psi.Engine
-	opts  Options
-	lim   *exec.Limiter
-	cache *resultCache // nil: disabled
-	mux   *http.ServeMux
-	start time.Time
+	eng     *psi.Engine
+	opts    Options
+	lim     *exec.Limiter
+	cache   *resultCache // nil: disabled
+	flights *flightGroup
+	mux     *http.ServeMux
+	start   time.Time
 
 	// base is the root of every request context; Shutdown cancels it to
 	// cut stragglers loose after the drain deadline.
@@ -98,10 +112,21 @@ type Server struct {
 	rejected    atomic.Int64
 	unavailable atomic.Int64
 
+	// coalesced counts requests answered from another request's in-flight
+	// execution; coalescedFallbacks counts followers whose flight finished
+	// with nothing shareable and who executed independently.
+	coalesced          atomic.Int64
+	coalescedFallbacks atomic.Int64
+
 	// admittedHook, when non-nil, runs after a query request is admitted
 	// and before it executes. Tests use it to hold admitted requests in
 	// flight deterministically.
 	admittedHook func(ctx context.Context)
+
+	// leaderHook, when non-nil, runs after a request becomes a flight
+	// leader and before it executes. Tests use it to hold the leader until
+	// its followers have parked on the flight.
+	leaderHook func(fl *flight)
 }
 
 // New returns a Server over eng. The engine must outlive the server.
@@ -117,6 +142,7 @@ func New(eng *psi.Engine, opts Options) *Server {
 		eng:        eng,
 		opts:       opts,
 		lim:        exec.NewLimiter(opts.MaxInFlight),
+		flights:    newFlightGroup(),
 		base:       base,
 		cancelBase: cancel,
 		start:      time.Now(),

@@ -48,11 +48,20 @@ echo "== shard smoke =="
 go run ./cmd/psibench -engine -index=race -shards=4 -scale=tiny -queries 2
 go run ./cmd/psibench -shardsweep -index=ftv -scale=tiny -queries 2
 
-echo "== coverage gate (internal/index, internal/rewrite) =="
-# Per-package coverage for the two packages this repo's correctness
-# arguments lean on hardest (the filtering/sharding contract and the
-# rewriting round-trip); regressing below the floor fails the gate.
-cov_out=$(go test -cover ./internal/index ./internal/rewrite)
+echo "== policy smoke =="
+# A short three-policy sweep (always-race, solo-best, auto) through the
+# serving stack. The sweep asserts before measuring that every query's
+# auto and solo-best answers are identical to the always-race engine's,
+# and exits non-zero on any divergence — the auto-parity guarantee,
+# enforced end to end.
+go run ./cmd/psibench -policysweep -scale=tiny -queries 4 -dur 150ms > /dev/null
+
+echo "== coverage gate (internal/index, internal/rewrite, internal/predict) =="
+# Per-package coverage for the packages this repo's correctness arguments
+# lean on hardest (the filtering/sharding contract, the rewriting
+# round-trip, and the learned planning policy's evidence rules);
+# regressing below the floor fails the gate.
+cov_out=$(go test -cover ./internal/index ./internal/rewrite ./internal/predict)
 echo "$cov_out"
 echo "$cov_out" | awk '
     /coverage:/ {
