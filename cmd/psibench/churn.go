@@ -1,0 +1,221 @@
+package main
+
+// Churn mode: benchmarks the mutable dataset engine under a mixed
+// ingest/delete/query load and measures what the epoch-versioned
+// incremental indexes buy over the naive alternative — tearing the engine
+// down and rebuilding every index from scratch after each mutation.
+//
+// The run grows a base dataset by ingesting a pool of additional graphs,
+// tombstoning every third ingest's worth of older graphs along the way and
+// answering containment queries between mutations. Afterwards it builds a
+// from-scratch engine over the final dataset twice over: once to time the
+// full rebuild a mutation would otherwise cost, and once to assert the
+// non-negotiable invariant — the churned engine's answers are byte-identical
+// to a clean build of the dataset it converged to. The -json output is the
+// committed BENCH_mutate.json; the run fails if parity breaks or the
+// per-mutation speedup over a full rebuild falls under churnMinSpeedup.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"slices"
+	"time"
+
+	psi "github.com/psi-graph/psi"
+)
+
+// churnMinSpeedup is the floor on rebuild_ns / mean_mutation_ns: applying
+// one mutation incrementally must beat a from-scratch rebuild of the final
+// dataset by at least this factor, or the incremental machinery is not
+// paying for itself.
+const churnMinSpeedup = 10
+
+// churnReport is the full -churn output document.
+type churnReport struct {
+	Bench          string        `json:"bench"`
+	Scale          string        `json:"scale"`
+	Seed           int64         `json:"seed"`
+	Index          string        `json:"index_spec"`
+	Shards         int           `json:"shards"`
+	CPUs           int           `json:"cpus"`
+	GraphsStart    int           `json:"graphs_start"`
+	GraphsEnd      int           `json:"graphs_end"`
+	FinalEpoch     uint64        `json:"final_epoch"`
+	Adds           int64         `json:"adds"`
+	Removes        int64         `json:"removes"`
+	Compactions    int64         `json:"compactions"`
+	InitialBuildNS time.Duration `json:"initial_build_ns"`
+	MeanAddNS      time.Duration `json:"mean_add_ns"`
+	MaxAddNS       time.Duration `json:"max_add_ns"`
+	MeanRemoveNS   time.Duration `json:"mean_remove_ns"`
+	MeanMutationNS time.Duration `json:"mean_mutation_ns"`
+	QueriesRun     int           `json:"queries_run"`
+	MeanQueryNS    time.Duration `json:"mean_query_ns"`
+	Answers        int           `json:"answers"`
+	RebuildNS      time.Duration `json:"rebuild_ns"`
+	SpeedupX       float64       `json:"speedup_x"`
+	Parity         bool          `json:"parity_with_rebuild"`
+}
+
+// runChurnBench drives the churn and prints text or JSON.
+func runChurnBench(scale psi.Scale, scaleName, indexSpec string, seed int64, queries, shards int, cap time.Duration, asJSON bool) error {
+	if seed == 0 {
+		seed = 1
+	}
+	if queries <= 0 {
+		queries = 6
+	}
+	kinds, err := psi.ParseIndexSpec(indexSpec)
+	if err != nil {
+		return err
+	}
+	info := os.Stdout
+	if asJSON {
+		info = os.Stderr
+	}
+
+	// The generator emits a handful of graphs per seed; concatenating runs
+	// at distinct seeds grows a base dataset large enough that a full
+	// rebuild visibly dwarfs a one-graph incremental update, plus an ingest
+	// pool of the same shape to churn with.
+	const genRuns = 6
+	var base, pool []*psi.Graph
+	for i := int64(0); i < genRuns; i++ {
+		base = append(base, psi.GeneratePPI(scale, seed+i)...)
+		pool = append(pool, psi.GeneratePPI(scale, seed+genRuns+i)...)
+	}
+
+	buildStart := time.Now()
+	eng, err := psi.NewDatasetEngine(base, psi.EngineOptions{
+		Indexes: kinds,
+		Shards:  shards,
+		Timeout: cap,
+		Mutable: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	report := churnReport{
+		Bench: "mutate", Scale: scaleName, Seed: seed, Index: indexSpec,
+		Shards: eng.Shards(), CPUs: runtime.NumCPU(),
+		GraphsStart: len(base), InitialBuildNS: time.Since(buildStart),
+		Parity: true,
+	}
+	fmt.Fprintf(info, "churn: %d base graphs, %d-graph ingest pool, K=%d, indexes built in %v\n",
+		len(base), len(pool), eng.Shards(), report.InitialBuildNS.Round(time.Millisecond))
+
+	queryGraphs := make([]*psi.Graph, queries)
+	for i := range queryGraphs {
+		queryGraphs[i] = psi.ExtractQuery(base[i%len(base)], 4+(i%2)*4, seed+int64(i))
+	}
+
+	// The churn: ingest the pool one graph at a time, removing one older
+	// graph after every third ingest and running one query after every
+	// second mutation — queries and mutations interleave the way a serving
+	// workload would, and every query runs against a consistent epoch.
+	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
+	var addNS, removeNS, queryNS time.Duration
+	var mutations int
+	runQuery := func() error {
+		q := queryGraphs[report.QueriesRun%len(queryGraphs)]
+		qStart := time.Now()
+		res, err := eng.Query(ctx, q, 0)
+		if err != nil {
+			return fmt.Errorf("query during churn: %w", err)
+		}
+		queryNS += time.Since(qStart)
+		report.QueriesRun++
+		report.Answers += len(res.GraphIDs)
+		return nil
+	}
+	for i, g := range pool {
+		aStart := time.Now()
+		if _, err := eng.AddGraph(ctx, g); err != nil {
+			return fmt.Errorf("add %d: %w", i, err)
+		}
+		d := time.Since(aStart)
+		addNS += d
+		if d > report.MaxAddNS {
+			report.MaxAddNS = d
+		}
+		report.Adds++
+		mutations++
+		if (i+1)%3 == 0 {
+			handles := eng.Handles()
+			h := handles[rng.Intn(len(handles))]
+			rStart := time.Now()
+			if _, err := eng.RemoveGraph(ctx, h); err != nil {
+				return fmt.Errorf("remove %v: %w", h, err)
+			}
+			removeNS += time.Since(rStart)
+			report.Removes++
+			mutations++
+		}
+		if mutations%2 == 0 {
+			if err := runQuery(); err != nil {
+				return err
+			}
+		}
+	}
+	report.Compactions = eng.Counters().Compactions
+	report.GraphsEnd = len(eng.Dataset())
+	report.FinalEpoch = eng.Epoch()
+	report.MeanAddNS = addNS / time.Duration(report.Adds)
+	if report.Removes > 0 {
+		report.MeanRemoveNS = removeNS / time.Duration(report.Removes)
+	}
+	report.MeanMutationNS = (addNS + removeNS) / time.Duration(report.Adds+report.Removes)
+	if report.QueriesRun > 0 {
+		report.MeanQueryNS = queryNS / time.Duration(report.QueriesRun)
+	}
+	fmt.Fprintf(info, "churn: %d adds (mean %v, max %v), %d removes (mean %v), %d compactions, epoch %d\n",
+		report.Adds, report.MeanAddNS.Round(time.Microsecond), report.MaxAddNS.Round(time.Microsecond),
+		report.Removes, report.MeanRemoveNS.Round(time.Microsecond), report.Compactions, report.FinalEpoch)
+
+	// The alternative a mutation avoids: a from-scratch engine over the
+	// dataset the churn converged to. Built once for the clock, and its
+	// answers double as the parity baseline.
+	rebuildStart := time.Now()
+	fresh, err := psi.NewDatasetEngine(eng.Dataset(), psi.EngineOptions{
+		Indexes: kinds,
+		Shards:  shards,
+		Timeout: cap,
+	})
+	if err != nil {
+		return fmt.Errorf("rebuild: %w", err)
+	}
+	defer fresh.Close()
+	report.RebuildNS = time.Since(rebuildStart)
+	for i, q := range queryGraphs {
+		got, err := eng.Query(ctx, q, 0)
+		if err != nil {
+			return fmt.Errorf("parity q%d (churned): %w", i, err)
+		}
+		want, err := fresh.Query(ctx, q, 0)
+		if err != nil {
+			return fmt.Errorf("parity q%d (rebuilt): %w", i, err)
+		}
+		if !slices.Equal(got.GraphIDs, want.GraphIDs) {
+			report.Parity = false
+			return fmt.Errorf("parity q%d: churned engine answered %v, from-scratch rebuild %v", i, got.GraphIDs, want.GraphIDs)
+		}
+	}
+	report.SpeedupX = float64(report.RebuildNS) / float64(report.MeanMutationNS)
+	fmt.Fprintf(info, "rebuild of %d graphs: %v — incremental mutation is %.1fx faster (parity holds over %d queries)\n",
+		report.GraphsEnd, report.RebuildNS.Round(time.Millisecond), report.SpeedupX, len(queryGraphs))
+	if report.SpeedupX < churnMinSpeedup {
+		return fmt.Errorf("per-mutation speedup %.1fx under the %dx floor — incremental updates are not beating a full rebuild", report.SpeedupX, churnMinSpeedup)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	return nil
+}

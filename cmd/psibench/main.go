@@ -44,6 +44,17 @@
 //
 //	psibench -policysweep [-index race] [-scale tiny] [-seed 1]
 //	         [-queries 12] [-dur 1500ms] [-json]
+//
+// Churn mode (-churn) benchmarks the mutable dataset engine under a mixed
+// ingest/delete/query load: it grows a base dataset from an ingest pool,
+// tombstones older graphs along the way, answers queries between mutations,
+// then asserts the churned engine's answers are byte-identical to a
+// from-scratch rebuild of the final dataset and that applying one mutation
+// incrementally beats that rebuild by at least 10x; its -json output is the
+// committed BENCH_mutate.json:
+//
+//	psibench -churn [-index ftv] [-shards 8] [-scale tiny] [-seed 1]
+//	         [-queries 6] [-json]
 package main
 
 import (
@@ -75,6 +86,7 @@ func main() {
 		shardsFlag  = flag.Int("shards", 1, "engine/serve mode: dataset shards per index (round-robin; answers identical at any K)")
 		sweepFlag   = flag.Bool("shardsweep", false, "sweep shard counts K=1/2/4/8 over both dataset shapes, asserting answer parity with K=1")
 		policyFlag  = flag.Bool("policysweep", false, "sweep planning policies (race, solo-best, auto) over uniform and skewed serving mixes, asserting answer parity")
+		churnFlag   = flag.Bool("churn", false, "benchmark the mutable engine under mixed ingest/delete/query load, asserting parity with a from-scratch rebuild")
 		jsonFlag    = flag.Bool("json", false, "engine/serve/shardsweep mode: emit machine-readable JSON results")
 	)
 	flag.Parse()
@@ -89,6 +101,13 @@ func main() {
 	scale, err := gen.ParseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *churnFlag {
+		if err := runChurnBench(scale, *scaleFlag, *indexFlag, *seedFlag, *queriesFlag, *shardsFlag, *capFlag, *jsonFlag); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *policyFlag {

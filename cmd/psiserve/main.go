@@ -19,18 +19,35 @@
 // full answer, marked coalesced:true. Pass -no-coalesce (or per-request
 // ?cache=0) to force independent executions.
 //
+// With -mutable the dataset engine accepts online mutations: graphs can be
+// ingested, removed and replaced while queries are in flight, each mutation
+// bumping an epoch-versioned index snapshot whose answers stay byte-identical
+// to a from-scratch rebuild. A mutable server also builds its indexes in the
+// background: it listens (and writes -portfile) immediately, answering
+// /healthz with status "building" (503) until the engine is ready.
+//
 // Endpoints:
 //
 //	POST /query[?limit=N&stream=1&cache=0&timeout_ms=N]  — body: one query
 //	     graph in the module's text format. JSON answer, or NDJSON lines
 //	     (one per embedding / containing graph ID, then a summary line)
 //	     with stream=1.
+//	POST /graphs           — body: one or more graphs in the module's text
+//	     format; ingests each in order (requires -mutable) and returns
+//	     their handles plus the new dataset epoch.
+//	DELETE /graphs/{handle} — removes the graph behind an ingest handle
+//	     (a tombstone; shard-local compaction after enough of them).
+//	PUT  /graphs/{handle}  — body: exactly one graph; replaces the graph
+//	     behind the handle in place.
 //	GET  /stats    — JSON snapshot: engine counters, win tallies, index
 //	     build provenance, cache effectiveness, admission state, coalescing
-//	     counters, and (with -policy auto / -mode auto) the learned
-//	     per-arm policy statistics.
+//	     counters, the dataset epoch and mutation counters (with -mutable),
+//	     and (with -policy auto / -mode auto) the learned per-arm policy
+//	     statistics.
 //	GET  /metrics  — the same counters in Prometheus text format.
-//	GET  /healthz  — 200 while serving, 503 once draining.
+//	GET  /healthz  — 200 with status "ok" (and the dataset epoch) while
+//	     serving, 503 with "building" until the engine is ready, 503 with
+//	     "draining" once shutdown begins.
 //
 // SIGINT/SIGTERM starts a graceful drain: admission stops, in-flight
 // queries finish (stragglers are cancelled after -drain), and the process
@@ -71,6 +88,8 @@ func main() {
 		indexFlag    = flag.String("index", "race", "dataset indexes: ftv|grapes|ggsx, a comma list, or race (all)")
 		policyFlag   = flag.String("policy", "", "dataset index policy: race|fixed|auto (default: race with several indexes)")
 		noCoalesce   = flag.Bool("no-coalesce", false, "disable in-flight coalescing of concurrent identical queries")
+		mutableFlag  = flag.Bool("mutable", false, "accept online mutations (POST/DELETE/PUT /graphs); the engine builds in the background")
+		compactFlag  = flag.Int("compact-every", 0, "per-shard tombstone count that triggers compaction (0: default)")
 		shardsFlag   = flag.Int("shards", 1, "dataset shards per index (round-robin partition; answers identical at any K)")
 		workersFlag  = flag.Int("workers", 1, "Grapes verification worker count")
 		timeoutFlag  = flag.Duration("timeout", 10*time.Minute, "per-query kill cap (the engine budget)")
@@ -86,19 +105,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := buildEngine(ds, *algosFlag, *rewrFlag, *modeFlag, *indexFlag, *policyFlag, *shardsFlag, *workersFlag, *timeoutFlag)
-	if err != nil {
-		fatal(err)
+	if *mutableFlag && len(ds) < 2 {
+		fatal(errors.New("-mutable requires a dataset of more than one graph"))
 	}
-	defer eng.Close()
 
-	srv := server.New(eng, server.Options{
+	srv := server.NewBuilding(server.Options{
 		MaxInFlight:    *inflightFlag,
 		DefaultLimit:   *limitFlag,
 		RequestTimeout: *reqTimeout,
 		CacheSize:      *cacheFlag,
 		NoCoalesce:     *noCoalesce,
 	})
+	defer func() {
+		if eng := srv.Engine(); eng != nil {
+			eng.Close()
+		}
+	}()
+	buildErr := make(chan error, 1)
+	build := func(announce bool) {
+		eng, err := buildEngine(ds, *algosFlag, *rewrFlag, *modeFlag, *indexFlag, *policyFlag, *shardsFlag, *workersFlag, *compactFlag, *timeoutFlag, *mutableFlag)
+		if err != nil {
+			buildErr <- err
+			return
+		}
+		srv.SetEngine(eng)
+		if announce {
+			fmt.Fprintf(os.Stderr, "psiserve: engine ready (%s)\n", describe(eng))
+		}
+		buildErr <- nil
+	}
+	if *mutableFlag {
+		// A mutable server listens first and builds in the background, so
+		// readiness probes see "building" instead of connection refusals.
+		go build(true)
+	} else {
+		build(false)
+		if err := <-buildErr; err != nil {
+			fatal(err)
+		}
+		buildErr = nil
+	}
 
 	ln, err := net.Listen("tcp", *addrFlag)
 	if err != nil {
@@ -110,7 +156,11 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "psiserve: listening on http://%s (%s)\n", ln.Addr(), describe(eng))
+	desc := "building indexes in the background"
+	if eng := srv.Engine(); eng != nil {
+		desc = describe(eng)
+	}
+	fmt.Fprintf(os.Stderr, "psiserve: listening on http://%s (%s)\n", ln.Addr(), desc)
 
 	httpSrv := &http.Server{Handler: srv}
 	stop := make(chan os.Signal, 1)
@@ -118,23 +168,33 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
-	select {
-	case sig := <-stop:
-		fmt.Fprintf(os.Stderr, "psiserve: %v — draining (grace %v)\n", sig, *drainFlag)
-		dctx, cancel := context.WithTimeout(context.Background(), *drainFlag)
-		defer cancel()
-		drainErr := srv.Shutdown(dctx)
-		if err := httpSrv.Shutdown(dctx); err != nil && drainErr == nil {
-			drainErr = err
-		}
-		if drainErr != nil {
-			fmt.Fprintf(os.Stderr, "psiserve: drain cut stragglers: %v\n", drainErr)
-		} else {
-			fmt.Fprintln(os.Stderr, "psiserve: drained cleanly")
-		}
-	case err := <-serveErr:
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fatal(err)
+	for {
+		select {
+		case err := <-buildErr:
+			if err != nil {
+				fatal(err)
+			}
+			// Disable this case; a nil channel never fires again.
+			buildErr = nil
+		case sig := <-stop:
+			fmt.Fprintf(os.Stderr, "psiserve: %v — draining (grace %v)\n", sig, *drainFlag)
+			dctx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+			defer cancel()
+			drainErr := srv.Shutdown(dctx)
+			if err := httpSrv.Shutdown(dctx); err != nil && drainErr == nil {
+				drainErr = err
+			}
+			if drainErr != nil {
+				fmt.Fprintf(os.Stderr, "psiserve: drain cut stragglers: %v\n", drainErr)
+			} else {
+				fmt.Fprintln(os.Stderr, "psiserve: drained cleanly")
+			}
+			return
+		case err := <-serveErr:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fatal(err)
+			}
+			return
 		}
 	}
 }
@@ -179,7 +239,7 @@ func loadDataset(path, genKind, scaleName string, seed int64) ([]*graph.Graph, e
 }
 
 // buildEngine constructs the NFV or FTV engine the dataset shape calls for.
-func buildEngine(ds []*graph.Graph, algos, rewritings, mode, indexSpec, policy string, shards, workers int, timeout time.Duration) (*psi.Engine, error) {
+func buildEngine(ds []*graph.Graph, algos, rewritings, mode, indexSpec, policy string, shards, workers, compactEvery int, timeout time.Duration, mutable bool) (*psi.Engine, error) {
 	kinds, err := parseRewritings(rewritings)
 	if err != nil {
 		return nil, err
@@ -201,6 +261,8 @@ func buildEngine(ds []*graph.Graph, algos, rewritings, mode, indexSpec, policy s
 			return nil, err
 		}
 		opts.IndexPolicy = policy
+		opts.Mutable = mutable
+		opts.CompactEvery = compactEvery
 		return psi.NewDatasetEngine(ds, opts)
 	}
 	opts.Algorithms, err = parseAlgorithms(algos)

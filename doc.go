@@ -274,6 +274,67 @@
 // listener, and cmd/psibench -serve for the closed-loop load generator
 // behind BENCH_serve.json.
 //
+// # Mutation architecture
+//
+// A dataset engine built with EngineOptions.Mutable accepts online
+// mutations — AddGraph, RemoveGraph, ReplaceGraph — while queries are in
+// flight, with one non-negotiable invariant: after any mutation sequence,
+// answers are byte-identical to a from-scratch engine over the final
+// dataset. The machinery lives in internal/live and hangs on four ideas:
+//
+// Slots. Every graph ever added occupies a permanent global slot; the
+// round-robin sharding law (slot s lives in shard s mod K) then localizes
+// any mutation to exactly one shard, and because slot assignment is
+// monotone, an AddGraph always appends to its shard's tail — which the
+// flat path index absorbs copy-on-write (index.Inserter: the new sub-index
+// shares every untouched posting map with its predecessor and clones only
+// the maps the new graph's features touch). Kinds without incremental
+// insert fall back to rebuilding that one shard, never the dataset.
+//
+// Tombstones. RemoveGraph replaces the slot's graph with a zero-vertex
+// placeholder — O(1) on the index side, since a placeholder matches no
+// feature — and once a shard accumulates CompactEvery of them it compacts
+// with a shard-local rebuild that sheds the dead features. Queries never
+// see slots: the index.Masked view renumbers live slots to the dense
+// 0..n-1 answer IDs (rank order, so ascending emission survives) and
+// routes verification back through the slot space.
+//
+// Epochs. Every mutation publishes a fresh immutable snapshot — dense
+// dataset, masked index per kind, rewired racer and result cache — under a
+// bumped epoch number. Queries acquire the current snapshot with a
+// lock-free load-ref-recheck and hold it to completion: a query planned at
+// epoch 5 answers epoch 5 even if ten mutations land mid-flight, and
+// Plan.Epoch / QueryResult.Epoch record which dataset version an answer
+// describes. Mutations serialize among themselves; the query path takes no
+// lock.
+//
+// Refcounts. Sub-indexes are shared across snapshot generations (a
+// mutation to shard 2 reuses every other shard's sub-indexes), so each
+// snapshot holds a reference on the sub-indexes it spans and the last
+// release — not the mutation — closes what dropped out, letting in-flight
+// queries drain on dead epochs safely.
+//
+// Handles, not IDs, are the public identity: AddGraph returns a stable
+// GraphHandle that survives every compaction, while dense answer IDs shift
+// as earlier graphs are deleted (Engine.Handles maps between them at the
+// current epoch). The serving layer exposes the whole lifecycle — POST
+// /graphs, DELETE /graphs/{handle}, PUT /graphs/{handle} — keys its result
+// cache and in-flight coalescing by epoch so a mutation implicitly
+// invalidates every remembered answer, and reports the epoch in /healthz,
+// /stats and /metrics. cmd/psibench -churn measures the payoff and
+// enforces the invariant end to end (BENCH_mutate.json: one incremental
+// mutation lands ~50x faster than the full rebuild it replaces, with
+// parity asserted against that rebuild).
+//
+//	eng, _ := psi.NewDatasetEngine(ds, psi.EngineOptions{
+//		Indexes: []string{"ftv"},
+//		Shards:  4,
+//		Mutable: true,
+//	})
+//	h, _ := eng.AddGraph(ctx, g)     // visible to the next planned query
+//	res, _ := eng.Query(ctx, q, 0)   // res.Epoch: the version it answered
+//	_, _ = eng.RemoveGraph(ctx, h)   // tombstone; compaction when due
+//
 // See examples/ for runnable programs and cmd/psibench for the experiment
 // harness that regenerates every table and figure of the paper (psibench
 // -engine benchmarks the Engine facade, including the index race).

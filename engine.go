@@ -22,6 +22,7 @@ import (
 	"github.com/psi-graph/psi/internal/exec"
 	"github.com/psi-graph/psi/internal/ftv"
 	"github.com/psi-graph/psi/internal/index"
+	"github.com/psi-graph/psi/internal/live"
 	"github.com/psi-graph/psi/internal/match"
 	"github.com/psi-graph/psi/internal/metrics"
 	"github.com/psi-graph/psi/internal/predict"
@@ -145,6 +146,19 @@ type EngineOptions struct {
 	// over a single index's pipeline, so it only applies under the fixed
 	// policy; a racing engine answers every query live.
 	CacheSize int
+	// Mutable turns a dataset engine into a live one: AddGraph, RemoveGraph
+	// and ReplaceGraph become available, every mutation bumps the dataset
+	// epoch and installs a fresh index snapshot, and in-flight queries keep
+	// reading the snapshot they started on (snapshot isolation — answers
+	// stay byte-identical to a from-scratch build of whichever epoch they
+	// executed against). Unlike static engines the shard count is not
+	// clamped to the initial dataset size, since the dataset grows.
+	Mutable bool
+	// CompactEvery is the per-shard tombstone threshold of a mutable
+	// engine: after this many deletions a shard sheds its dead graphs'
+	// features with a shard-local rebuild. 0 means live.DefaultCompactEvery
+	// (8); ignored for static engines.
+	CompactEvery int
 }
 
 // Index policies for EngineOptions.IndexPolicy and Plan.IndexPolicy.
@@ -230,13 +244,20 @@ type Engine struct {
 	// solo-vs-race bandit, nil under every other policy.
 	bandit *predict.Bandit
 
-	// FTV state.
-	ds       []*Graph
-	indexes  []FilterIndex
-	ixPolicy string
-	ixRacer  *core.IndexRacer
-	ftvRacer *FTVRacer
-	cache    *CachedFTV
+	// FTV state. The epoch-versioned part — dataset, index portfolio,
+	// racers, result cache — lives in an immutable dsState behind an atomic
+	// pointer: static engines install exactly one for their lifetime, while
+	// mutable engines install a fresh one per mutation so queries in flight
+	// keep the state they acquired (snapshot isolation). ixPolicy, kinds
+	// and the learned policy state persist across epochs.
+	dsst      atomic.Pointer[dsState]
+	store     *live.Store // nil for static (and NFV) engines
+	mutMu     sync.Mutex  // serializes mutations and state refresh
+	ixPolicy  string
+	kinds     []string
+	ixNames   []string // portfolio arm names, stable across epochs
+	rewrites  []Rewriting
+	cacheSize int
 
 	// Sharding state: shardK is the effective partition count (0 when
 	// monolithic) and shardEmits tallies, per shard, how many answer graph
@@ -245,6 +266,63 @@ type Engine struct {
 	shardK     int
 	shardMu    sync.Mutex
 	shardEmits []int64
+}
+
+// GraphHandle is the stable public identity of a dataset graph on a mutable
+// engine: assigned by AddGraph (initial graphs get 1..n in dataset order),
+// it survives every mutation and compaction, unlike the dense answer graph
+// IDs, which shift as earlier graphs are deleted.
+type GraphHandle = live.Handle
+
+// ErrUnknownGraph reports a mutation against a GraphHandle the engine never
+// issued or has already removed. Match with errors.Is.
+var ErrUnknownGraph = live.ErrUnknownHandle
+
+// dsState is one epoch of a dataset engine's query-serving state: the dense
+// dataset, the index portfolio over it, the racer (or raced verifier and
+// cache) wired to that portfolio, and — on mutable engines — the live
+// snapshot whose release returns the underlying sub-indexes to the store's
+// refcounting. It is immutable once installed; queries acquire it with a
+// refcount for the duration of one execution, so a mutation installing a
+// successor never tears resources out from under an in-flight query.
+type dsState struct {
+	epoch    uint64
+	ds       []*Graph
+	handles  []GraphHandle // nil on static engines
+	indexes  []FilterIndex
+	ixRacer  *core.IndexRacer
+	ftvRacer *FTVRacer
+	cache    *CachedFTV
+
+	refs    atomic.Int64
+	once    sync.Once
+	dispose func()
+}
+
+// unref drops one reference; the last one disposes the state's resources
+// (racer attempt pools, and the sub-indexes — directly for static engines,
+// via the live snapshot's refcounts for mutable ones).
+func (st *dsState) unref() {
+	if st.refs.Add(-1) == 0 {
+		st.once.Do(st.dispose)
+	}
+}
+
+// acquireState takes a reference on the current dataset state, retrying
+// around a concurrent swap exactly like live.Store.Current. Nil for NFV
+// engines (and after Close).
+func (e *Engine) acquireState() *dsState {
+	for {
+		st := e.dsst.Load()
+		if st == nil {
+			return nil
+		}
+		st.refs.Add(1)
+		if e.dsst.Load() == st {
+			return st
+		}
+		st.unref()
+	}
 }
 
 // NewEngine builds an NFV engine serving subgraph-matching queries against
@@ -307,7 +385,6 @@ func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.ds = ds
 	kinds := opts.Indexes
 	if len(kinds) == 0 {
 		k := opts.Index
@@ -349,46 +426,129 @@ func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
 		e.Close()
 		return nil, fmt.Errorf("psi: unknown index policy %q (want %q, %q or %q)", opts.IndexPolicy, IndexRace, IndexFixed, IndexAuto)
 	}
-	for _, kind := range kinds {
-		x, berr := index.Build(context.Background(), kind, ds, index.Options{
-			Workers: opts.IndexWorkers,
-			Pool:    e.pool,
-			Shards:  opts.Shards,
+	e.kinds = kinds
+	e.rewrites = engineRewritings(opts)
+	e.cacheSize = opts.CacheSize
+	if len(kinds) < 2 && e.ixPolicy != IndexFixed {
+		e.ixPolicy = IndexFixed
+	}
+	var indexes []FilterIndex
+	if opts.Mutable {
+		store, serr := live.NewStore(context.Background(), ds, live.Options{
+			Kinds:        kinds,
+			Shards:       opts.Shards,
+			CompactEvery: opts.CompactEvery,
+			Index: index.Options{
+				Workers: opts.IndexWorkers,
+				Pool:    e.pool,
+			},
 		})
-		if berr != nil {
+		if serr != nil {
 			e.Close()
-			return nil, fmt.Errorf("psi: building FTV index: %w", berr)
+			return nil, fmt.Errorf("psi: building FTV index: %w", serr)
 		}
-		if sh, ok := x.(*index.Sharded); ok && e.shardK == 0 && sh.Shards() > 1 {
-			// Every portfolio entry shards identically; record the
-			// effective (dataset-clamped) count once.
-			e.shardK = sh.Shards()
+		e.store = store
+		if store.Shards() > 1 {
+			e.shardK = store.Shards()
 			e.shardEmits = make([]int64, e.shardK)
 		}
-		e.indexes = append(e.indexes, x)
-	}
-	if (e.ixPolicy == IndexRace || e.ixPolicy == IndexAuto) && len(e.indexes) >= 2 {
-		e.ixRacer = core.NewIndexRacer(e.indexes, engineRewritings(opts))
-		e.ixRacer.Pool = e.pool
-		if e.ixPolicy == IndexAuto {
-			names := make([]string, len(e.indexes))
-			for i, x := range e.indexes {
-				names[i] = x.Name()
-			}
-			e.bandit = predict.NewBandit(names, banditOptions(opts))
+		snap := store.Current()
+		for _, kind := range kinds {
+			indexes = append(indexes, snap.Index(kind))
 		}
-		return e, nil
+		e.installState(e.newState(snap, indexes))
+	} else {
+		for _, kind := range kinds {
+			x, berr := index.Build(context.Background(), kind, ds, index.Options{
+				Workers: opts.IndexWorkers,
+				Pool:    e.pool,
+				Shards:  opts.Shards,
+			})
+			if berr != nil {
+				for _, built := range indexes {
+					built.Close()
+				}
+				e.Close()
+				return nil, fmt.Errorf("psi: building FTV index: %w", berr)
+			}
+			if sh, ok := x.(*index.Sharded); ok && e.shardK == 0 && sh.Shards() > 1 {
+				// Every portfolio entry shards identically; record the
+				// effective (dataset-clamped) count once.
+				e.shardK = sh.Shards()
+				e.shardEmits = make([]int64, e.shardK)
+			}
+			indexes = append(indexes, x)
+		}
+		st := &dsState{ds: ds, indexes: indexes}
+		st.dispose = func() {
+			if st.ixRacer != nil {
+				st.ixRacer.Close()
+			}
+			for _, x := range st.indexes {
+				x.Close()
+			}
+		}
+		e.wireState(st)
+		st.refs.Store(1)
+		e.dsst.Store(st)
 	}
-	e.ixPolicy = IndexFixed
-	e.ftvRacer = core.NewFTVRacer(e.indexes[0], engineRewritings(opts))
-	e.ftvRacer.Pool = e.pool
-	if opts.CacheSize >= 0 {
+	for _, x := range indexes {
+		e.ixNames = append(e.ixNames, x.Name())
+	}
+	if e.ixPolicy == IndexAuto && len(indexes) >= 2 {
+		e.bandit = predict.NewBandit(e.ixNames, banditOptions(opts))
+	}
+	return e, nil
+}
+
+// newState builds the epoch state around a live snapshot of a mutable
+// engine; disposing it returns the snapshot to the store's refcounts.
+func (e *Engine) newState(snap *live.Snapshot, indexes []FilterIndex) *dsState {
+	st := &dsState{
+		epoch:   snap.Epoch(),
+		ds:      snap.Graphs(),
+		handles: snap.Handles(),
+		indexes: indexes,
+	}
+	st.dispose = func() {
+		if st.ixRacer != nil {
+			st.ixRacer.Close()
+		}
+		snap.Release()
+	}
+	e.wireState(st)
+	st.refs.Store(1)
+	return st
+}
+
+// wireState attaches the racer (portfolio policies) or the raced verifier
+// plus result cache (fixed policy) to a fresh epoch state. A mutable engine
+// runs this per mutation, which is what keeps the rewrite frequencies and
+// the iGQ cache consistent with the current dataset: both are derived from
+// the state's own index portfolio, never from a stale epoch.
+func (e *Engine) wireState(st *dsState) {
+	if (e.ixPolicy == IndexRace || e.ixPolicy == IndexAuto) && len(st.indexes) >= 2 {
+		st.ixRacer = core.NewIndexRacer(st.indexes, e.rewrites)
+		st.ixRacer.Pool = e.pool
+		return
+	}
+	st.ftvRacer = core.NewFTVRacer(st.indexes[0], e.rewrites)
+	st.ftvRacer.Pool = e.pool
+	if e.cacheSize >= 0 {
 		// The cache layers on the *raced* verifier, so the residual
 		// verifications it cannot resolve are themselves raced across the
 		// configured rewritings and fanned out over the pool.
-		e.cache = ftv.NewCachedParallel(racedIndex{e.ftvRacer}, opts.CacheSize, poolOrDefault(e.pool))
+		st.cache = ftv.NewCachedParallel(racedIndex{st.ftvRacer}, e.cacheSize, poolOrDefault(e.pool))
 	}
-	return e, nil
+}
+
+// installState publishes a fresh epoch state and drops the engine's
+// reference to the predecessor (which lives on until its last in-flight
+// query unrefs it). Caller holds mutMu (or is NewDatasetEngine).
+func (e *Engine) installState(st *dsState) {
+	if old := e.dsst.Swap(st); old != nil {
+		old.unref()
+	}
 }
 
 func newEngineCommon(opts EngineOptions) (*Engine, error) {
@@ -444,18 +604,20 @@ func (r racedIndex) Verify(ctx context.Context, q *Graph, graphID int) (bool, er
 	return res.Contained, err
 }
 
-// Close releases the Engine's dedicated pool, if it owns one, and any
-// per-index resources (e.g. Grapes' dedicated verification pool). Queries
-// in flight degrade gracefully (pools fall back to transient goroutines).
+// Close releases the Engine's dedicated pool, if it owns one, and drops the
+// engine's reference to its dataset state — index resources (e.g. Grapes'
+// dedicated verification pool) are released once the last in-flight query
+// finishes with them. Queries in flight degrade gracefully (pools fall back
+// to transient goroutines).
 func (e *Engine) Close() {
 	if e.owned && e.pool != nil {
 		e.pool.Close()
 	}
-	if e.ixRacer != nil {
-		e.ixRacer.Close()
+	if st := e.dsst.Swap(nil); st != nil {
+		st.unref()
 	}
-	for _, x := range e.indexes {
-		x.Close()
+	if e.store != nil {
+		e.store.Close()
 	}
 }
 
@@ -465,8 +627,115 @@ func (e *Engine) Mode() Mode { return e.mode }
 // Graph returns the stored graph of an NFV engine (nil for dataset engines).
 func (e *Engine) Graph() *Graph { return e.g }
 
-// Dataset returns the dataset of an FTV engine (nil for NFV engines).
-func (e *Engine) Dataset() []*Graph { return e.ds }
+// Dataset returns the dataset of an FTV engine (nil for NFV engines): the
+// live graphs of the current epoch, in insertion order, exactly the dataset
+// a from-scratch rebuild would be handed.
+func (e *Engine) Dataset() []*Graph {
+	if st := e.dsst.Load(); st != nil {
+		return st.ds
+	}
+	return nil
+}
+
+// Mutable reports whether the engine supports dataset mutations.
+func (e *Engine) Mutable() bool { return e.store != nil }
+
+// Epoch reports the current dataset epoch of a mutable dataset engine:
+// 1 after construction, bumped by every committed mutation. Static (and
+// NFV) engines report 0 — their dataset can never change.
+func (e *Engine) Epoch() uint64 {
+	if e.store == nil {
+		return 0
+	}
+	return e.store.Epoch()
+}
+
+// Handles returns the stable handle of every live graph of a mutable
+// dataset engine, parallel to Dataset(): Handles()[i] identifies the graph
+// answering as graph ID i at the current epoch. Nil for static engines.
+func (e *Engine) Handles() []GraphHandle {
+	if st := e.dsst.Load(); st != nil && st.handles != nil {
+		return append([]GraphHandle(nil), st.handles...)
+	}
+	return nil
+}
+
+// AddGraph ingests g into a mutable dataset engine, returning its stable
+// handle. The owning shard's sub-indexes absorb it incrementally where the
+// kind supports it (the flat path index) and by shard-local rebuild
+// otherwise; either way the epoch bumps and queries planned after the
+// return see the new graph, while queries already executing finish on the
+// epoch they started.
+func (e *Engine) AddGraph(ctx context.Context, g *Graph) (GraphHandle, error) {
+	if err := e.requireMutable(); err != nil {
+		return 0, err
+	}
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	h, err := e.store.Add(ctx, g)
+	if err != nil {
+		return 0, err
+	}
+	e.counters.GraphsAdded.Add(1)
+	e.refreshState()
+	return h, nil
+}
+
+// RemoveGraph deletes the graph behind h from a mutable dataset engine —
+// O(1) on the index side (a tombstone) until the owning shard accumulates
+// enough of them to trigger a shard-local compaction, which the returned
+// flag reports.
+func (e *Engine) RemoveGraph(ctx context.Context, h GraphHandle) (compacted bool, err error) {
+	if err := e.requireMutable(); err != nil {
+		return false, err
+	}
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	compacted, err = e.store.Remove(ctx, h)
+	if err != nil {
+		return false, err
+	}
+	e.counters.GraphsRemoved.Add(1)
+	if compacted {
+		e.counters.Compactions.Add(1)
+	}
+	e.refreshState()
+	return compacted, nil
+}
+
+// ReplaceGraph swaps the graph behind h for g in place on a mutable dataset
+// engine: same handle, same shard, rebuilt shard-locally.
+func (e *Engine) ReplaceGraph(ctx context.Context, h GraphHandle, g *Graph) error {
+	if err := e.requireMutable(); err != nil {
+		return err
+	}
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	if err := e.store.Replace(ctx, h, g); err != nil {
+		return err
+	}
+	e.counters.GraphsReplaced.Add(1)
+	e.refreshState()
+	return nil
+}
+
+func (e *Engine) requireMutable() error {
+	if e.store == nil {
+		return errors.New("psi: mutations require a dataset engine built with EngineOptions.Mutable")
+	}
+	return nil
+}
+
+// refreshState rebuilds the query-serving state around the store's newest
+// snapshot. Caller holds mutMu.
+func (e *Engine) refreshState() {
+	snap := e.store.Current()
+	indexes := make([]FilterIndex, 0, len(e.kinds))
+	for _, kind := range e.kinds {
+		indexes = append(indexes, snap.Index(kind))
+	}
+	e.installState(e.newState(snap, indexes))
+}
 
 // Attempts returns a copy of the engine's attempt portfolio (NFV engines).
 func (e *Engine) Attempts() []Attempt {
@@ -476,10 +745,11 @@ func (e *Engine) Attempts() []Attempt {
 // CacheStats reports the FTV result-cache counters; ok is false for NFV
 // engines and dataset engines built with a negative CacheSize.
 func (e *Engine) CacheStats() (stats ftv.CacheStats, ok bool) {
-	if e.cache == nil {
+	st := e.dsst.Load()
+	if st == nil || st.cache == nil {
 		return ftv.CacheStats{}, false
 	}
-	return e.cache.Stats(), true
+	return st.cache.Stats(), true
 }
 
 // Counters returns a point-in-time snapshot of the engine's operational
@@ -562,8 +832,12 @@ func (e *Engine) tallyShardIDs(graphIDs []int) {
 // index in the engine's portfolio, in portfolio order (dataset engines
 // only; nil for NFV engines).
 func (e *Engine) IndexStats() []IndexStats {
-	out := make([]IndexStats, 0, len(e.indexes))
-	for _, x := range e.indexes {
+	st := e.dsst.Load()
+	if st == nil {
+		return nil
+	}
+	out := make([]IndexStats, 0, len(st.indexes))
+	for _, x := range st.indexes {
 		out = append(out, x.Stats())
 	}
 	return out
@@ -639,7 +913,7 @@ func (e *Engine) decide(q *Graph) *PolicyDecision {
 		if e.g != nil {
 			pd.ArmName = e.attempts[d.Arm].Label()
 		} else {
-			pd.ArmName = e.indexes[d.Arm].Name()
+			pd.ArmName = e.ixNames[d.Arm]
 		}
 	}
 	return pd
@@ -669,6 +943,11 @@ type Plan struct {
 	// Decision is the auto policy's solo-vs-race verdict for this query
 	// (ModeAuto / IndexAuto engines only, nil otherwise).
 	Decision *PolicyDecision
+	// Epoch is the dataset epoch current at planning time (mutable dataset
+	// engines only, 0 otherwise). Execution always runs against the epoch
+	// current when Execute starts — QueryResult.Epoch reports which — so a
+	// mutation between Plan and Execute shows up as a differing pair.
+	Epoch uint64
 
 	features predict.Features
 	engine   *Engine
@@ -686,9 +965,8 @@ func (e *Engine) Plan(q *Graph) (*Plan, error) {
 		p.Kind = PlanFTV
 		p.IndexPolicy = e.ixPolicy
 		p.Decision = e.decide(q)
-		for _, x := range e.indexes {
-			p.Indexes = append(p.Indexes, x.Name())
-		}
+		p.Epoch = e.Epoch()
+		p.Indexes = append(p.Indexes, e.ixNames...)
 		return p, nil
 	}
 	switch e.mode {
@@ -753,6 +1031,10 @@ type QueryResult struct {
 	// Policy echoes the auto policy's decision for this query (ModeAuto /
 	// IndexAuto engines only, nil otherwise).
 	Policy *PolicyDecision
+	// Epoch is the dataset epoch the query executed against (mutable
+	// dataset engines only, 0 otherwise): the answer is byte-identical to
+	// a from-scratch engine over that epoch's dataset.
+	Epoch uint64
 	// Elapsed is the measured execution time; when the engine has a
 	// deadline, Killed marks queries that hit it (Elapsed is then clamped
 	// to the cap, the substitution the paper's methodology prescribes)
@@ -819,6 +1101,17 @@ func (e *Engine) execute(ctx context.Context, p *Plan, limit int, sink Sink) (*Q
 		e.counters.Streamed.Add(1)
 	}
 	res := &QueryResult{Kind: p.Kind, Policy: p.Decision}
+	var st *dsState
+	if p.Kind == PlanFTV {
+		// Pin the current epoch's state for the whole execution: a
+		// concurrent mutation installs its successor without disturbing
+		// this query, and the result records which epoch answered.
+		if st = e.acquireState(); st == nil {
+			return nil, errors.New("psi: engine closed")
+		}
+		defer st.unref()
+		res.Epoch = st.epoch
+	}
 	streamed := 0
 	if sink != nil {
 		// Count what actually reaches the caller, so a killed streaming
@@ -832,7 +1125,7 @@ func (e *Engine) execute(ctx context.Context, p *Plan, limit int, sink Sink) (*Q
 	run := func(runCtx context.Context) error {
 		switch p.Kind {
 		case PlanFTV:
-			return e.runFTV(runCtx, p, res)
+			return e.runFTV(runCtx, st, p, res)
 		case PlanPredicted:
 			return e.runPredicted(runCtx, p, limit, sink, res)
 		default:
@@ -1013,13 +1306,13 @@ func (e *Engine) runPredicted(ctx context.Context, p *Plan, limit int, sink Sink
 // full race if it overruns the solo budget); under the fixed policy the
 // primary index answers through the cache (when enabled) or the raced
 // verifier.
-func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
-	if e.ixRacer != nil {
+func (e *Engine) runFTV(ctx context.Context, st *dsState, p *Plan, res *QueryResult) error {
+	if st.ixRacer != nil {
 		if d := p.Decision; d != nil && d.Solo {
 			// A collected solo buffers its IDs internally, so a fallback
 			// discards a partial answer no caller ever saw — always safe.
 			soloCtx, cancel := context.WithTimeout(ctx, e.solo)
-			r, err := e.ixRacer.AnswerArm(soloCtx, p.Query, d.Arm)
+			r, err := st.ixRacer.AnswerArm(soloCtx, p.Query, d.Arm)
 			cancel()
 			if err == nil {
 				d.observed = true
@@ -1035,7 +1328,7 @@ func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
 			e.counters.IndexAttempts.Add(1) // the abandoned solo still ran
 			res.FellBack = true
 		}
-		r, err := e.ixRacer.Answer(ctx, p.Query)
+		r, err := st.ixRacer.Answer(ctx, p.Query)
 		if err != nil {
 			return err
 		}
@@ -1050,12 +1343,12 @@ func (e *Engine) runFTV(ctx context.Context, p *Plan, res *QueryResult) error {
 		ids []int
 		err error
 	)
-	if e.cache != nil {
-		ids, err = e.cache.Answer(ctx, p.Query)
-		res.Winner = e.cache.Name()
+	if st.cache != nil {
+		ids, err = st.cache.Answer(ctx, p.Query)
+		res.Winner = st.cache.Name()
 	} else {
-		ids, err = e.ftvRacer.Answer(ctx, p.Query)
-		res.Winner = e.ftvRacer.Name()
+		ids, err = st.ftvRacer.Answer(ctx, p.Query)
+		res.Winner = st.ftvRacer.Name()
 	}
 	if err != nil {
 		return err
@@ -1110,15 +1403,20 @@ func (e *Engine) AnswerStream(ctx context.Context, q *Graph, emit func(graphID i
 // count of graph IDs that irrevocably reached emit before the kill. The
 // result's GraphIDs stays nil; the IDs go to emit.
 func (e *Engine) AnswerStreamResult(ctx context.Context, q *Graph, emit func(graphID int) bool) (*QueryResult, error) {
-	if e.ixRacer == nil && e.ftvRacer == nil {
+	if e.g != nil {
 		return nil, errors.New("psi: AnswerStream requires a dataset engine")
 	}
 	if emit == nil {
 		return nil, errors.New("psi: AnswerStream requires an emit function")
 	}
+	st := e.acquireState()
+	if st == nil {
+		return nil, errors.New("psi: AnswerStream requires an open dataset engine")
+	}
+	defer st.unref()
 	e.counters.Queries.Add(1)
 	e.counters.Streamed.Add(1)
-	res := &QueryResult{Kind: PlanFTV, Policy: e.decide(q)}
+	res := &QueryResult{Kind: PlanFTV, Policy: e.decide(q), Epoch: st.epoch}
 	streamed := 0
 	counting := func(id int) bool {
 		streamed++
@@ -1126,11 +1424,11 @@ func (e *Engine) AnswerStreamResult(ctx context.Context, q *Graph, emit func(gra
 		return emit(id)
 	}
 	run := func(runCtx context.Context) error {
-		if e.ixRacer != nil {
+		if st.ixRacer != nil {
 			if d := res.Policy; d != nil && d.Solo {
 				soloCtx, cancel := context.WithTimeout(runCtx, e.solo)
 				before := streamed
-				r, err := e.ixRacer.AnswerStreamArm(soloCtx, q, d.Arm, counting)
+				r, err := st.ixRacer.AnswerStreamArm(soloCtx, q, d.Arm, counting)
 				cancel()
 				if err == nil {
 					d.observed = true
@@ -1154,7 +1452,7 @@ func (e *Engine) AnswerStreamResult(ctx context.Context, q *Graph, emit func(gra
 				e.counters.IndexAttempts.Add(1) // the abandoned solo still ran
 				res.FellBack = true
 			}
-			r, err := e.ixRacer.AnswerStream(runCtx, q, counting)
+			r, err := st.ixRacer.AnswerStream(runCtx, q, counting)
 			if err != nil {
 				return err
 			}
@@ -1166,8 +1464,8 @@ func (e *Engine) AnswerStreamResult(ctx context.Context, q *Graph, emit func(gra
 			res.IndexAttempts = r.Attempts
 			return nil
 		}
-		res.Winner = e.ftvRacer.Name()
-		return e.ftvRacer.AnswerStream(runCtx, q, counting)
+		res.Winner = st.ftvRacer.Name()
+		return st.ftvRacer.AnswerStream(runCtx, q, counting)
 	}
 	if e.budget.Cap > 0 {
 		t := e.budget.Run(ctx, run)

@@ -60,6 +60,17 @@ type FilterStreamer interface {
 	FilterStream(ctx context.Context, q *graph.Graph, emit func(graphID int) bool) error
 }
 
+// Inserter is the optional incremental-maintenance capability of an index:
+// WithGraph derives a NEW index over the old dataset plus one appended graph
+// without re-extracting the features of the existing graphs. The receiver is
+// left untouched — concurrent queries against it keep their answers — so a
+// mutable dataset layer can swap the returned index in copy-on-write style.
+// Kinds that cannot append cheaply (the trie-backed indexes) simply do not
+// implement it and are rebuilt shard-locally instead.
+type Inserter interface {
+	WithGraph(ctx context.Context, g *graph.Graph) (Index, error)
+}
+
 // Stats describes a built index. The json tags fix the serialized schema
 // (snake_case, durations as nanoseconds) shared by the /stats endpoint and
 // the generated BENCH_*.json documents.

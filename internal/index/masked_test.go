@@ -1,0 +1,186 @@
+package index_test
+
+// Tests for the mutable-dataset index primitives: Path.WithGraph
+// (copy-on-write append), NewShardedFrom (assembling a Sharded from
+// pre-built sub-indexes without clamping), and Masked (the tombstone-aware
+// dense view). The property each hangs on is the same byte-parity the rest
+// of the index layer enforces: derived views answer exactly like a
+// from-scratch build over the equivalent dataset.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/index"
+)
+
+// TestPathWithGraphParity appends graphs one at a time via WithGraph and
+// checks, at every prefix, that the derived index answers exactly like
+// BuildPath over the same prefix — and that the receiver is untouched.
+func TestPathWithGraphParity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ds := randomDataset(r, 6, 10, 2)
+	base, err := index.BuildPath(context.Background(), ds[:2], index.Options{MaxPathLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []*graph.Graph{
+		extractQuery(r, ds[3], 3),
+		extractQuery(r, ds[4], 2),
+		graph.MustNew("edgeless", []graph.Label{0}, nil),
+	}
+	baseAnswers := make([][]int, len(queries))
+	for qi, q := range queries {
+		if baseAnswers[qi], err = index.Answer(context.Background(), base, q, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var cur index.Index = base
+	for n := 3; n <= len(ds); n++ {
+		next, err := cur.(index.Inserter).WithGraph(context.Background(), ds[n-1])
+		if err != nil {
+			t.Fatalf("WithGraph(#%d): %v", n-1, err)
+		}
+		want, err := index.BuildPath(context.Background(), ds[:n], index.Options{MaxPathLen: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			if got, expect := next.Filter(q), want.Filter(q); !sameInts(got, expect) {
+				t.Errorf("n=%d q%d: Filter = %v, want %v", n, qi, got, expect)
+			}
+			got, err := index.Answer(context.Background(), next, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expect, err := index.Answer(context.Background(), want, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameInts(got, expect) {
+				t.Errorf("n=%d q%d: Answer = %v, want %v", n, qi, got, expect)
+			}
+		}
+		if st := next.Stats(); st.Graphs != n || st.Features != want.Stats().Features {
+			t.Errorf("n=%d: stats graphs=%d features=%d, want %d/%d",
+				n, st.Graphs, st.Features, n, want.Stats().Features)
+		}
+		cur = next
+	}
+	// The original two-graph index must still answer as before the appends.
+	for qi, q := range queries {
+		got, err := index.Answer(context.Background(), base, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameInts(got, baseAnswers[qi]) {
+			t.Errorf("receiver mutated: q%d = %v, want %v", qi, got, baseAnswers[qi])
+		}
+	}
+}
+
+// TestMaskedParity tombstones a random subset of slots (replacing them with
+// a zero-vertex placeholder, as the live store does) and checks that the
+// masked sharded view answers byte-identically to a fresh monolithic build
+// over just the live graphs — for several shard counts, including K greater
+// than the dataset (empty shards).
+func TestMaskedParity(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	slots := randomDataset(r, 7, 10, 2)
+	dead := map[int]bool{1: true, 4: true, 5: true}
+	placeholder := graph.NewBuilder("dead").MustBuild()
+	alive := make([]bool, len(slots))
+	var dense []*graph.Graph
+	slotDS := make([]*graph.Graph, len(slots))
+	for s, g := range slots {
+		if dead[s] {
+			slotDS[s] = placeholder
+			continue
+		}
+		alive[s] = true
+		slotDS[s] = g
+		dense = append(dense, g)
+	}
+	queries := []*graph.Graph{
+		extractQuery(r, slots[0], 3),
+		extractQuery(r, slots[4], 3), // extracted from a dead graph: may hit others
+		graph.MustNew("edgeless", []graph.Label{0}, nil),
+	}
+	for _, kind := range index.Kinds() {
+		want, err := index.Build(context.Background(), kind, dense, index.Options{MaxPathLen: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 3, 11} {
+			subs := make([]index.Index, k)
+			for s := 0; s < k; s++ {
+				var sub []*graph.Graph
+				for g := s; g < len(slotDS); g += k {
+					sub = append(sub, slotDS[g])
+				}
+				if subs[s], err = index.Build(context.Background(), kind, sub, index.Options{MaxPathLen: 3}); err != nil {
+					t.Fatalf("%s K=%d shard %d: %v", kind, k, s, err)
+				}
+			}
+			sharded := index.NewShardedFrom(slotDS, kind, subs)
+			if st := sharded.Stats(); st.ShardCount != k || st.Graphs != len(slotDS) {
+				t.Errorf("%s K=%d: ShardedFrom stats = %d shards/%d graphs", kind, k, st.ShardCount, st.Graphs)
+			}
+			m := index.NewMasked(sharded, dense, alive)
+			if got := len(m.Dataset()); got != len(dense) {
+				t.Fatalf("%s K=%d: masked dataset = %d graphs, want %d", kind, k, got, len(dense))
+			}
+			if st := m.Stats(); st.Graphs != len(dense) {
+				t.Errorf("%s K=%d: masked stats graphs = %d, want %d", kind, k, st.Graphs, len(dense))
+			}
+			for qi, q := range queries {
+				if got, expect := m.Filter(q), want.Filter(q); !sameInts(got, expect) {
+					t.Errorf("%s K=%d q%d: Filter = %v, want %v", kind, k, qi, got, expect)
+				}
+				got, err := index.Answer(context.Background(), m, q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				expect, err := index.Answer(context.Background(), want, q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameInts(got, expect) {
+					t.Errorf("%s K=%d q%d: Answer = %v, want %v", kind, k, qi, got, expect)
+				}
+			}
+			if _, err := m.Verify(context.Background(), queries[0], -1); err == nil {
+				t.Error("Verify(-1) did not error")
+			}
+			if _, err := m.Verify(context.Background(), queries[0], len(dense)); err == nil {
+				t.Error("Verify(len) did not error")
+			}
+			m.Close() // no-op by contract; sub-indexes stay usable
+			if _, err := m.Verify(context.Background(), queries[0], 0); err != nil {
+				t.Errorf("Verify after Close: %v", err)
+			}
+			sharded.Close()
+		}
+		want.Close()
+	}
+}
+
+// TestMaskedMismatchPanics pins the constructor's consistency check: a dense
+// dataset that disagrees with the alive mask is a caller bug, not a state to
+// limp along in.
+func TestMaskedMismatchPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ds := randomDataset(r, 3, 6, 2)
+	x, err := index.BuildPath(context.Background(), ds, index.Options{MaxPathLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMasked with mismatched mask did not panic")
+		}
+	}()
+	index.NewMasked(x, ds, []bool{true, false, true})
+}

@@ -123,6 +123,44 @@ func (x *Path) FilterStream(ctx context.Context, q *graph.Graph, emit func(graph
 	return StreamByFeatures(ctx, len(x.ds), ftv.QueryFeatures(q, x.maxPathLen), x.lookup, emit)
 }
 
+// WithGraph implements Inserter: a copy-on-write append. Only the new
+// graph's features are extracted; the posting maps of features it touches
+// are cloned and extended, the rest are shared with the receiver, which is
+// never mutated — queries racing against the old index keep a consistent
+// view. The outer map copy is O(features), far below the path enumeration a
+// rebuild pays, which is what makes single-graph ingest cheap.
+func (x *Path) WithGraph(ctx context.Context, g *graph.Graph) (Index, error) {
+	feats, err := ftv.ExtractFeaturesContext(ctx, g, x.maxPathLen, false)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	id := len(x.ds)
+	nx := &Path{
+		ds:         append(append(make([]*graph.Graph, 0, id+1), x.ds...), g),
+		maxPathLen: x.maxPathLen,
+		postings:   make(map[ftv.Key]MapPostings, len(x.postings)+len(feats)),
+		verifier:   append(append(make([]*vf2.Matcher, 0, id+1), x.verifier...), vf2.New(g)),
+	}
+	for key, m := range x.postings {
+		nx.postings[key] = m
+	}
+	for key, f := range feats {
+		m := make(MapPostings, len(nx.postings[key])+1)
+		for gid, c := range nx.postings[key] {
+			m[gid] = c
+		}
+		m[id] = f.Count
+		nx.postings[key] = m
+	}
+	nx.stats = x.stats
+	nx.stats.Graphs = len(nx.ds)
+	nx.stats.Features = len(nx.postings)
+	nx.stats.Nodes = len(nx.postings)
+	nx.stats.BuildTime = time.Since(start)
+	return nx, nil
+}
+
 // Verify implements ftv.Index: VF2 against the whole stored graph.
 func (x *Path) Verify(ctx context.Context, q *graph.Graph, graphID int) (bool, error) {
 	if graphID < 0 || graphID >= len(x.verifier) {

@@ -102,6 +102,34 @@ func BuildSharded(ctx context.Context, kind string, ds []*graph.Graph, opts Opti
 	return x, nil
 }
 
+// NewShardedFrom assembles a Sharded view over pre-built per-shard
+// sub-indexes — the mutable dataset layer's entry point, which maintains the
+// sub-indexes itself (copy-on-write inserts, shard-local rebuilds) and needs
+// the shard count to stay fixed across mutations. Unlike BuildSharded the
+// shard count is NOT clamped to len(ds): a shard may legitimately be empty
+// after deletions or before its first ingest. subs[s] must index exactly
+// shardDataset(ds, s, len(subs)); ownership of the sub-indexes stays with the
+// caller (Close on the result closes them, as with BuildSharded).
+func NewShardedFrom(ds []*graph.Graph, kind string, subs []Index) *Sharded {
+	k := len(subs)
+	x := &Sharded{ds: ds, k: k, shards: subs}
+	x.stats = Stats{
+		Name:       x.Name(),
+		Kind:       kind,
+		Graphs:     len(ds),
+		ShardCount: k,
+	}
+	for _, sub := range subs {
+		st := sub.Stats()
+		x.stats.MaxPathLen = st.MaxPathLen
+		x.stats.Features += st.Features
+		x.stats.Nodes += st.Nodes
+		x.stats.BuildTime += st.BuildTime
+		x.stats.Shards = append(x.stats.Shards, st)
+	}
+	return x
+}
+
 // Name identifies the configuration, e.g. "Grapes/1×4" for four shards.
 func (x *Sharded) Name() string {
 	if x.k == 1 {

@@ -1,0 +1,378 @@
+package live_test
+
+// The mutable store's acceptance properties: (1) mutation parity — after any
+// random sequence of Add/Remove/Replace, every kind's snapshot index answers
+// byte-identically to a from-scratch build over the live graphs; (2)
+// snapshot isolation — a pinned snapshot keeps answering exactly as it did
+// while mutations churn underneath it; (3) lifecycle — sub-indexes shared
+// across snapshot generations close exactly when the last referencing
+// snapshot drains, never under a pinned reader. All run under -race in CI.
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	_ "github.com/psi-graph/psi/internal/ggsx"
+	_ "github.com/psi-graph/psi/internal/grapes"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/index"
+	"github.com/psi-graph/psi/internal/live"
+)
+
+const testMaxPathLen = 3
+
+func randomDataset(r *rand.Rand, numGraphs, n, labels int) []*graph.Graph {
+	ds := make([]*graph.Graph, numGraphs)
+	for i := range ds {
+		b := graph.NewBuilder("g")
+		for v := 0; v < n; v++ {
+			b.AddVertex(graph.Label(r.Intn(labels)))
+		}
+		for v := 1; v < n; v++ {
+			if err := b.AddEdge(r.Intn(v), v); err != nil {
+				panic(err)
+			}
+		}
+		ds[i] = b.MustBuild()
+	}
+	return ds
+}
+
+// pathQuery is a deterministic little 2-edge path query over the label
+// alphabet; with 2 labels it hits most random graphs and misses some, which
+// is exactly the discriminating shape a parity check wants.
+func pathQuery(l0, l1, l2 graph.Label) *graph.Graph {
+	return graph.MustNew("q", []graph.Label{l0, l1, l2}, [][2]int{{0, 1}, {1, 2}})
+}
+
+func testQueries() []*graph.Graph {
+	return []*graph.Graph{
+		pathQuery(0, 0, 1),
+		pathQuery(1, 0, 1),
+		graph.MustNew("edge", []graph.Label{0, 1}, [][2]int{{0, 1}}),
+		graph.MustNew("edgeless", []graph.Label{0}, nil),
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertParity checks that every kind's snapshot index answers exactly like
+// a fresh monolithic build over the snapshot's live graphs.
+func assertParity(t *testing.T, snap *live.Snapshot, kinds []string) {
+	t.Helper()
+	for _, kind := range kinds {
+		x := snap.Index(kind)
+		if x == nil {
+			t.Fatalf("snapshot has no %s index", kind)
+		}
+		fresh, err := index.Build(context.Background(), kind, snap.Graphs(), index.Options{MaxPathLen: testMaxPathLen})
+		if err != nil {
+			t.Fatalf("fresh %s build: %v", kind, err)
+		}
+		for qi, q := range testQueries() {
+			if got, want := x.Filter(q), fresh.Filter(q); !sameInts(got, want) {
+				t.Errorf("epoch %d %s q%d: Filter = %v, want %v", snap.Epoch(), kind, qi, got, want)
+			}
+			got, err := index.Answer(context.Background(), x, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := index.Answer(context.Background(), fresh, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameInts(got, want) {
+				t.Errorf("epoch %d %s q%d: Answer = %v, want %v", snap.Epoch(), kind, qi, got, want)
+			}
+		}
+		fresh.Close()
+	}
+}
+
+// TestMutationParityFuzz is the tentpole property: random interleavings of
+// Add/Remove/Replace across every registered kind and several shard counts,
+// parity-checked against a from-scratch rebuild after every mutation —
+// including through compactions (CompactEvery=2 forces them early).
+func TestMutationParityFuzz(t *testing.T) {
+	kinds := index.Kinds()
+	for _, k := range []int{1, 2, 3} {
+		r := rand.New(rand.NewSource(int64(100 + k)))
+		ds := randomDataset(r, 4, 8, 2)
+		st, err := live.NewStore(context.Background(), ds, live.Options{
+			Kinds: kinds, Shards: k, CompactEvery: 2,
+			Index: index.Options{MaxPathLen: testMaxPathLen},
+		})
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if st.Shards() != k {
+			t.Fatalf("K=%d: Shards() = %d", k, st.Shards())
+		}
+		lastEpoch := st.Epoch()
+		if lastEpoch != 1 {
+			t.Fatalf("initial epoch = %d, want 1", lastEpoch)
+		}
+		sawCompaction := false
+		for step := 0; step < 10; step++ {
+			snap := st.Current()
+			handles := snap.Handles()
+			op := r.Intn(3)
+			if len(handles) == 0 {
+				op = 0
+			}
+			switch op {
+			case 0:
+				if _, err := st.Add(context.Background(), randomDataset(r, 1, 8, 2)[0]); err != nil {
+					t.Fatalf("K=%d step %d: Add: %v", k, step, err)
+				}
+			case 1:
+				compacted, err := st.Remove(context.Background(), handles[r.Intn(len(handles))])
+				if err != nil {
+					t.Fatalf("K=%d step %d: Remove: %v", k, step, err)
+				}
+				sawCompaction = sawCompaction || compacted
+			case 2:
+				h := handles[r.Intn(len(handles))]
+				if err := st.Replace(context.Background(), h, randomDataset(r, 1, 8, 2)[0]); err != nil {
+					t.Fatalf("K=%d step %d: Replace: %v", k, step, err)
+				}
+			}
+			snap.Release()
+			cur := st.Current()
+			if cur.Epoch() != lastEpoch+1 {
+				t.Fatalf("K=%d step %d: epoch %d after %d", k, step, cur.Epoch(), lastEpoch)
+			}
+			lastEpoch = cur.Epoch()
+			if len(cur.Handles()) != len(cur.Graphs()) {
+				t.Fatalf("K=%d step %d: %d handles for %d graphs", k, step, len(cur.Handles()), len(cur.Graphs()))
+			}
+			assertParity(t, cur, kinds)
+			cur.Release()
+		}
+		if !sawCompaction && k == 1 {
+			t.Error("CompactEvery=2 never compacted over 10 mutations")
+		}
+		st.Close()
+	}
+}
+
+// TestSnapshotIsolationUnderChurn pins a snapshot, records its answers, then
+// hammers the store with concurrent mutations and concurrent readers of the
+// moving head; the pinned snapshot must keep answering byte-identically
+// throughout, and no goroutines may survive the churn.
+func TestSnapshotIsolationUnderChurn(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := rand.New(rand.NewSource(5))
+	ds := randomDataset(r, 6, 8, 2)
+	st, err := live.NewStore(context.Background(), ds, live.Options{
+		Kinds: []string{index.KindPath}, Shards: 2, CompactEvery: 2,
+		Index: index.Options{MaxPathLen: testMaxPathLen},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := st.Current()
+	q := pathQuery(0, 0, 1)
+	want, err := index.Answer(context.Background(), pinned.Index(index.KindPath), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := st.Current()
+				if _, err := index.Answer(context.Background(), snap.Index(index.KindPath), q, nil); err != nil {
+					failed.Store(true)
+				}
+				if len(snap.Handles()) != len(snap.Graphs()) {
+					failed.Store(true)
+				}
+				snap.Release()
+			}
+		}()
+	}
+	mr := rand.New(rand.NewSource(17))
+	var handles []live.Handle
+	for _, h := range pinned.Handles() {
+		handles = append(handles, h)
+	}
+	for step := 0; step < 30; step++ {
+		if len(handles) > 2 && mr.Intn(2) == 0 {
+			i := mr.Intn(len(handles))
+			if _, err := st.Remove(context.Background(), handles[i]); err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles[:i], handles[i+1:]...)
+		} else {
+			h, err := st.Add(context.Background(), randomDataset(mr, 1, 8, 2)[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+		got, err := index.Answer(context.Background(), pinned.Index(index.KindPath), q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameInts(got, want) {
+			t.Fatalf("pinned snapshot drifted at step %d: %v, want %v", step, got, want)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if failed.Load() {
+		t.Error("concurrent reader saw an inconsistent snapshot")
+	}
+	pinned.Release()
+	st.Close()
+	// Goroutine-leak harness: everything spawned must drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines leaked: %d before, %d after churn", before, n)
+	}
+}
+
+// closeCounting wraps the flat path index to observe Close calls. It
+// deliberately does NOT forward WithGraph (no embedding), so it never
+// satisfies index.Inserter: every mutation takes the rebuild path and
+// generates fresh sub-indexes, which is what the lifecycle test observes.
+type closeCounting struct {
+	inner  *index.Path
+	closes *atomic.Int64
+}
+
+func (c closeCounting) Name() string                { return c.inner.Name() }
+func (c closeCounting) Dataset() []*graph.Graph     { return c.inner.Dataset() }
+func (c closeCounting) Filter(q *graph.Graph) []int { return c.inner.Filter(q) }
+func (c closeCounting) Stats() index.Stats          { return c.inner.Stats() }
+func (c closeCounting) Close()                      { c.closes.Add(1); c.inner.Close() }
+func (c closeCounting) Verify(ctx context.Context, q *graph.Graph, graphID int) (bool, error) {
+	return c.inner.Verify(ctx, q, graphID)
+}
+func (c closeCounting) FilterStream(ctx context.Context, q *graph.Graph, emit func(graphID int) bool) error {
+	return c.inner.FilterStream(ctx, q, emit)
+}
+
+var testCloses atomic.Int64
+
+const kindCounting = "test-close-counting"
+
+func init() {
+	index.Register(kindCounting, func(ctx context.Context, ds []*graph.Graph, opts index.Options) (index.Index, error) {
+		x, err := index.BuildPath(ctx, ds, opts)
+		if err != nil {
+			return nil, err
+		}
+		return closeCounting{inner: x, closes: &testCloses}, nil
+	})
+}
+
+// TestSubIndexLifecycle pins the refcounting contract: a sub-index shared by
+// older snapshots survives being replaced in the grid until the last
+// snapshot referencing it releases, and Store.Close drains the rest.
+func TestSubIndexLifecycle(t *testing.T) {
+	testCloses.Store(0)
+	r := rand.New(rand.NewSource(9))
+	ds := randomDataset(r, 4, 6, 2) // K=2: shard 0 owns slots 0,2; shard 1 owns 1,3
+	st, err := live.NewStore(context.Background(), ds, live.Options{
+		Kinds: []string{kindCounting}, Shards: 2,
+		Index: index.Options{MaxPathLen: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := st.Current()
+	// Replace slot 0 → rebuilds shard 0 only; s1 still references the old
+	// shard-0 sub-index, so nothing may close yet.
+	if err := st.Replace(context.Background(), s1.Handles()[0], randomDataset(r, 1, 6, 2)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if n := testCloses.Load(); n != 0 {
+		t.Fatalf("%d sub-indexes closed while a snapshot still references them", n)
+	}
+	// Releasing s1 drops the last reference to the replaced shard-0 sub.
+	s1.Release()
+	if n := testCloses.Load(); n != 1 {
+		t.Fatalf("after pinned release: %d closes, want 1", n)
+	}
+	// Close releases the store's reference to the head snapshot: both its
+	// sub-indexes (new shard 0, original shard 1) must now close.
+	st.Close()
+	if n := testCloses.Load(); n != 3 {
+		t.Fatalf("after store close: %d closes, want 3", n)
+	}
+	if _, err := st.Add(context.Background(), ds[0]); err == nil {
+		t.Error("Add after Close did not error")
+	}
+	if _, err := st.Remove(context.Background(), 1); err == nil {
+		t.Error("Remove after Close did not error")
+	}
+	if err := st.Replace(context.Background(), 1, ds[0]); err == nil {
+		t.Error("Replace after Close did not error")
+	}
+	st.Close() // idempotent
+}
+
+// TestStoreErrors covers the argument-validation surface.
+func TestStoreErrors(t *testing.T) {
+	if _, err := live.NewStore(context.Background(), nil, live.Options{}); err == nil {
+		t.Error("NewStore with no kinds did not error")
+	}
+	if _, err := live.NewStore(context.Background(), nil, live.Options{Kinds: []string{"no-such-kind"}}); err == nil {
+		t.Error("NewStore with unregistered kind did not error")
+	}
+	r := rand.New(rand.NewSource(1))
+	ds := randomDataset(r, 2, 6, 2)
+	st, err := live.NewStore(context.Background(), ds, live.Options{
+		Kinds: []string{index.KindPath}, Index: index.Options{MaxPathLen: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Remove(context.Background(), 99); err == nil {
+		t.Error("Remove(unknown) did not error")
+	}
+	if err := st.Replace(context.Background(), 99, ds[0]); err == nil {
+		t.Error("Replace(unknown) did not error")
+	}
+	// Double-remove of the same handle must fail the second time.
+	snap := st.Current()
+	h := snap.Handles()[0]
+	snap.Release()
+	if _, err := st.Remove(context.Background(), h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Remove(context.Background(), h); err == nil {
+		t.Error("double Remove did not error")
+	}
+}

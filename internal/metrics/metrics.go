@@ -151,6 +151,16 @@ type Counters struct {
 	// ShardedKilled counts the subset of ShardedQueries that hit the
 	// per-query kill cap.
 	ShardedKilled atomic.Int64
+	// GraphsAdded counts graphs ingested into a mutable dataset engine.
+	GraphsAdded atomic.Int64
+	// GraphsRemoved counts graphs deleted from a mutable dataset engine.
+	GraphsRemoved atomic.Int64
+	// GraphsReplaced counts in-place graph replacements on a mutable
+	// dataset engine.
+	GraphsReplaced atomic.Int64
+	// Compactions counts shard-local rebuilds triggered by the tombstone
+	// threshold of a mutable dataset engine.
+	Compactions atomic.Int64
 }
 
 // CountersSnapshot is a plain-value copy of Counters, safe to serialize.
@@ -169,6 +179,10 @@ type CountersSnapshot struct {
 	PolicyEscalations int64 `json:"policy_escalations"`
 	ShardedQueries    int64 `json:"sharded_queries"`
 	ShardedKilled     int64 `json:"sharded_killed"`
+	GraphsAdded       int64 `json:"graphs_added"`
+	GraphsRemoved     int64 `json:"graphs_removed"`
+	GraphsReplaced    int64 `json:"graphs_replaced"`
+	Compactions       int64 `json:"compactions"`
 }
 
 // Snapshot returns a point-in-time copy of every counter. Counters keep
@@ -189,6 +203,10 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		PolicyEscalations: c.PolicyEscalations.Load(),
 		ShardedQueries:    c.ShardedQueries.Load(),
 		ShardedKilled:     c.ShardedKilled.Load(),
+		GraphsAdded:       c.GraphsAdded.Load(),
+		GraphsRemoved:     c.GraphsRemoved.Load(),
+		GraphsReplaced:    c.GraphsReplaced.Load(),
+		Compactions:       c.Compactions.Load(),
 	}
 }
 

@@ -285,3 +285,22 @@ func TestCountersSnapshot(t *testing.T) {
 		t.Error("untouched counters must snapshot to zero")
 	}
 }
+
+// TestMutationCountersSnapshot pins the mutation counters added for the
+// mutable dataset engine: each bumps independently and lands in its own
+// snapshot field.
+func TestMutationCountersSnapshot(t *testing.T) {
+	var c Counters
+	c.GraphsAdded.Add(3)
+	c.GraphsRemoved.Add(2)
+	c.GraphsReplaced.Add(1)
+	c.Compactions.Add(4)
+	s := c.Snapshot()
+	if s.GraphsAdded != 3 || s.GraphsRemoved != 2 || s.GraphsReplaced != 1 || s.Compactions != 4 {
+		t.Errorf("mutation counters = %d/%d/%d/%d, want 3/2/1/4",
+			s.GraphsAdded, s.GraphsRemoved, s.GraphsReplaced, s.Compactions)
+	}
+	if s.Queries != 0 {
+		t.Error("mutation bumps must not touch query counters")
+	}
+}

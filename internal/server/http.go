@@ -115,13 +115,21 @@ func isTrue(v string) bool {
 // parameters that change the answer. FTV answers ignore the limit, so all
 // limits share one entry; NFV limits <= 0 all mean "decision, first match"
 // and collapse to one sentinel so equivalent requests hit each other.
-func (s *Server) cacheKey(q *psi.Graph, limit int) string {
-	if s.eng.Dataset() != nil {
+//
+// The key is prefixed with the dataset epoch (0 on immutable engines), so
+// a mutation implicitly invalidates every remembered answer and concurrent
+// requests only coalesce within one epoch: an answer computed before an
+// AddGraph can never be replayed after it. A mutation landing between key
+// derivation and execution can at worst file a fresher answer under the
+// older epoch's key — an entry no future request looks up, never a stale
+// answer under a fresh key.
+func (s *Server) cacheKey(eng *psi.Engine, q *psi.Graph, limit int) string {
+	if eng.Dataset() != nil {
 		limit = 0
 	} else if limit <= 0 {
 		limit = -1
 	}
-	return fmt.Sprintf("l%d|%s", limit, psi.CanonicalQueryKey(q))
+	return fmt.Sprintf("e%d|l%d|%s", eng.Epoch(), limit, psi.CanonicalQueryKey(q))
 }
 
 // handleQuery is the /query endpoint: admission, parse, cache lookup,
@@ -139,6 +147,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	eng := s.engine()
+	if eng == nil {
+		writeJSONError(w, http.StatusServiceUnavailable, "engine is building")
+		return
+	}
 	req, q, errStatus, err := s.parseQueryRequest(r)
 	if err != nil {
 		writeJSONError(w, errStatus, err.Error())
@@ -156,7 +169,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	key := ""
 	coalesce := !s.opts.NoCoalesce && req.cache
 	if req.cache && (s.cache != nil || coalesce) {
-		key = s.cacheKey(q, req.limit)
+		key = s.cacheKey(eng, q, req.limit)
 	}
 	if s.cache != nil && key != "" {
 		if ans, ok := s.cache.get(key); ok {
@@ -189,27 +202,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			if s.leaderHook != nil {
 				s.leaderHook(fl)
 			}
-			ans = s.runQuery(ctx, w, req, q, key)
+			ans = s.runQuery(ctx, w, eng, req, q, key)
 			return
 		}
 	}
-	s.runQuery(ctx, w, req, q, key)
+	s.runQuery(ctx, w, eng, req, q, key)
 }
 
 // runQuery executes the query in the requested response mode and returns
 // the answer when it is complete and shareable (unkilled, no error, the
 // client received every line), nil otherwise.
-func (s *Server) runQuery(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, key string) *cachedAnswer {
+func (s *Server) runQuery(ctx context.Context, w http.ResponseWriter, eng *psi.Engine, req queryRequest, q *psi.Graph, key string) *cachedAnswer {
 	if req.stream {
-		return s.streamQuery(ctx, w, req, q, key)
+		return s.streamQuery(ctx, w, eng, req, q, key)
 	}
-	return s.collectQuery(ctx, w, req, q, key)
+	return s.collectQuery(ctx, w, eng, req, q, key)
 }
 
 // collectQuery runs the plan to completion and answers with one JSON
 // object, returning the answer when it is complete and shareable.
-func (s *Server) collectQuery(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, key string) *cachedAnswer {
-	res, err := s.eng.Query(ctx, q, req.limit)
+func (s *Server) collectQuery(ctx context.Context, w http.ResponseWriter, eng *psi.Engine, req queryRequest, q *psi.Graph, key string) *cachedAnswer {
+	res, err := eng.Query(ctx, q, req.limit)
 	if err != nil {
 		writeQueryError(w, err)
 		return nil
@@ -329,7 +342,7 @@ type graphIDLine struct {
 // duplicates replay from memory in either response mode. A stream whose
 // client stopped reading is incomplete by definition and shared with
 // no one.
-func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req queryRequest, q *psi.Graph, key string) *cachedAnswer {
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, eng *psi.Engine, req queryRequest, q *psi.Graph, key string) *cachedAnswer {
 	lw := newLineWriter(ctx, w)
 	defer lw.release()
 	var (
@@ -337,16 +350,16 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, req que
 		err error
 		ans *cachedAnswer
 	)
-	if s.eng.Dataset() != nil {
+	if eng.Dataset() != nil {
 		a := &cachedAnswer{ftv: true}
-		res, err = s.eng.AnswerStreamResult(ctx, q, func(id int) bool {
+		res, err = eng.AnswerStreamResult(ctx, q, func(id int) bool {
 			a.graphIDs = append(a.graphIDs, id)
 			return lw.writeLine(graphIDLine{GraphID: id})
 		})
 		ans = a
 	} else {
 		a := &cachedAnswer{}
-		res, err = s.eng.QueryStream(ctx, q, req.limit, psi.SinkFunc(func(e psi.Embedding) bool {
+		res, err = eng.QueryStream(ctx, q, req.limit, psi.SinkFunc(func(e psi.Embedding) bool {
 			a.embeddings = append(a.embeddings, e)
 			return lw.writeLine(embeddingLine{Embedding: e})
 		}))
@@ -437,14 +450,18 @@ func answerFromResult(res *psi.QueryResult) *cachedAnswer {
 }
 
 // StatsResponse is the /stats JSON schema: one consistent snapshot of the
-// serving layer and the engine beneath it.
+// serving layer and the engine beneath it. Ready is false while the engine
+// is still building, in which case only the serving-layer fields are set.
 type StatsResponse struct {
 	UptimeSeconds float64             `json:"uptime_seconds"`
-	Mode          string              `json:"mode"`
+	Ready         bool                `json:"ready"`
+	Mode          string              `json:"mode,omitempty"`
 	IndexPolicy   string              `json:"index_policy,omitempty"`
 	DatasetGraphs int                 `json:"dataset_graphs,omitempty"`
 	Shards        int                 `json:"shards,omitempty"`
 	ShardBalance  []int64             `json:"shard_balance,omitempty"`
+	Mutable       bool                `json:"mutable,omitempty"`
+	Epoch         uint64              `json:"epoch,omitempty"`
 	Draining      bool                `json:"draining"`
 	InFlight      int                 `json:"in_flight"`
 	Capacity      int                 `json:"capacity"`
@@ -465,11 +482,6 @@ type StatsResponse struct {
 func (s *Server) Stats() StatsResponse {
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Mode:          string(s.eng.Mode()),
-		IndexPolicy:   s.eng.IndexPolicy(),
-		DatasetGraphs: len(s.eng.Dataset()),
-		Shards:        s.eng.Shards(),
-		ShardBalance:  s.eng.ShardBalance(),
 		Draining:      s.Draining(),
 		InFlight:      s.lim.InFlight(),
 		Capacity:      s.lim.Cap(),
@@ -478,19 +490,31 @@ func (s *Server) Stats() StatsResponse {
 		Unavailable:   s.unavailable.Load(),
 		Coalesced:     s.coalesced.Load(),
 		CoalescedFB:   s.coalescedFallbacks.Load(),
-		Engine:        s.eng.Counters(),
-		Wins:          s.eng.WinCounts(),
-		Indexes:       s.eng.IndexStats(),
-	}
-	if cs, ok := s.eng.CacheStats(); ok {
-		resp.EngineCache = &cs
-	}
-	if snap, ok := s.eng.PolicyStats(); ok {
-		resp.Policy = &snap
 	}
 	if s.cache != nil {
 		cc := s.cache.counters()
 		resp.ResultCache = &cc
+	}
+	eng := s.engine()
+	if eng == nil {
+		return resp
+	}
+	resp.Ready = true
+	resp.Mode = string(eng.Mode())
+	resp.IndexPolicy = eng.IndexPolicy()
+	resp.DatasetGraphs = len(eng.Dataset())
+	resp.Shards = eng.Shards()
+	resp.ShardBalance = eng.ShardBalance()
+	resp.Mutable = eng.Mutable()
+	resp.Epoch = eng.Epoch()
+	resp.Engine = eng.Counters()
+	resp.Wins = eng.WinCounts()
+	resp.Indexes = eng.IndexStats()
+	if cs, ok := eng.CacheStats(); ok {
+		resp.EngineCache = &cs
+	}
+	if snap, ok := eng.PolicyStats(); ok {
+		resp.Policy = &snap
 	}
 	return resp
 }
@@ -519,6 +543,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		draining = 1
 	}
 	p("psi_server_draining", draining)
+	ready := 0
+	if st.Ready {
+		ready = 1
+	}
+	p("psi_server_ready", ready)
+	if st.ResultCache != nil {
+		p("psi_server_cache_hits_total", st.ResultCache.Hits)
+		p("psi_server_cache_misses_total", st.ResultCache.Misses)
+		p("psi_server_cache_entries", st.ResultCache.Entries)
+	}
+	if !st.Ready {
+		return
+	}
+	p("psi_engine_dataset_epoch", st.Epoch)
+	p("psi_engine_graphs_added_total", st.Engine.GraphsAdded)
+	p("psi_engine_graphs_removed_total", st.Engine.GraphsRemoved)
+	p("psi_engine_graphs_replaced_total", st.Engine.GraphsReplaced)
+	p("psi_engine_compactions_total", st.Engine.Compactions)
 	p("psi_engine_queries_total", st.Engine.Queries)
 	p("psi_engine_streamed_total", st.Engine.Streamed)
 	p("psi_engine_killed_total", st.Engine.Killed)
@@ -562,18 +604,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p("psi_engine_cache_verifications_total", st.EngineCache.Verifications)
 		p("psi_engine_cache_misses_total", st.EngineCache.Misses)
 	}
-	if st.ResultCache != nil {
-		p("psi_server_cache_hits_total", st.ResultCache.Hits)
-		p("psi_server_cache_misses_total", st.ResultCache.Misses)
-		p("psi_server_cache_entries", st.ResultCache.Entries)
-	}
 }
 
-// handleHealthz reports liveness: 200 while serving, 503 once draining.
+// healthResponse is the /healthz JSON schema. Status is "ok", "building"
+// (the engine is still constructing its indexes) or "draining"; Epoch is
+// the current dataset epoch once ready (0 on immutable engines).
+type healthResponse struct {
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+}
+
+// handleHealthz reports readiness: 200 with status "ok" while serving, 503
+// with "building" until SetEngine installs the engine, 503 with "draining"
+// once Shutdown has begun.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeJSONError(w, http.StatusServiceUnavailable, "draining")
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	eng := s.engine()
+	if eng == nil {
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "building"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Epoch: eng.Epoch()})
 }

@@ -40,7 +40,20 @@
 //
 //   - Observability. /stats is a JSON snapshot of engine counters, race win
 //     tallies, index build provenance and cache effectiveness; /metrics is
-//     the same in Prometheus text format.
+//     the same in Prometheus text format. Both carry the dataset epoch and
+//     the mutation counters on mutable engines.
+//
+//   - Online mutation. On a mutable dataset engine (EngineOptions.Mutable),
+//     POST /graphs ingests graphs, DELETE /graphs/{handle} removes one and
+//     PUT /graphs/{handle} replaces one in place; every response reports
+//     the dataset epoch the mutation produced. The result cache and the
+//     flight group are keyed by epoch, so a mutation implicitly invalidates
+//     every remembered answer and coalescing never crosses a mutation.
+//
+//   - Readiness. A server constructed with NewBuilding (before its engine
+//     finishes building indexes) answers /healthz with status "building"
+//     (503) and refuses queries until SetEngine flips it to "ok"; /healthz
+//     also reports the dataset epoch once ready.
 //
 //   - Graceful drain. Shutdown stops admission (new queries get 503), waits
 //     for in-flight queries, and past the caller's deadline cancels
@@ -85,11 +98,17 @@ type Options struct {
 	NoCoalesce bool
 }
 
-// Server serves queries over one long-lived Engine. Construct with New;
-// Server implements http.Handler. The Server does not own the Engine —
-// closing the Engine remains the caller's job, after Shutdown returns.
+// Server serves queries over one long-lived Engine. Construct with New —
+// or with NewBuilding plus a later SetEngine when the engine is still
+// constructing its indexes, during which the server answers readiness
+// probes with "building" and queries with 503. Server implements
+// http.Handler. The Server does not own the Engine — closing the Engine
+// remains the caller's job, after Shutdown returns.
 type Server struct {
-	eng     *psi.Engine
+	// eng is nil while the engine is still building (NewBuilding before
+	// SetEngine); handlers load it once per request and treat nil as "not
+	// ready yet".
+	eng     atomic.Pointer[psi.Engine]
 	opts    Options
 	lim     *exec.Limiter
 	cache   *resultCache // nil: disabled
@@ -131,6 +150,17 @@ type Server struct {
 
 // New returns a Server over eng. The engine must outlive the server.
 func New(eng *psi.Engine, opts Options) *Server {
+	s := NewBuilding(opts)
+	s.SetEngine(eng)
+	return s
+}
+
+// NewBuilding returns a Server with no engine yet: /healthz reports
+// status "building" (503), queries and mutations are refused with 503, and
+// /stats and /metrics serve the admission-layer counters only. Call
+// SetEngine once the engine is ready to flip the server to "ok". This is
+// how a front end serves readiness probes while a large index build runs.
+func NewBuilding(opts Options) *Server {
 	if opts.DefaultLimit == 0 {
 		opts.DefaultLimit = 1000
 	}
@@ -139,7 +169,6 @@ func New(eng *psi.Engine, opts Options) *Server {
 	}
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		eng:        eng,
 		opts:       opts,
 		lim:        exec.NewLimiter(opts.MaxInFlight),
 		flights:    newFlightGroup(),
@@ -156,14 +185,24 @@ func New(eng *psi.Engine, opts Options) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /graphs", s.handleAddGraphs)
+	s.mux.HandleFunc("DELETE /graphs/{handle}", s.handleRemoveGraph)
+	s.mux.HandleFunc("PUT /graphs/{handle}", s.handleReplaceGraph)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
-// Engine returns the served engine.
-func (s *Server) Engine() *psi.Engine { return s.eng }
+// SetEngine installs the served engine, flipping readiness from "building"
+// to "ok". The engine must outlive the server. Call at most once.
+func (s *Server) SetEngine(eng *psi.Engine) { s.eng.Store(eng) }
+
+// Engine returns the served engine, or nil while it is still building.
+func (s *Server) Engine() *psi.Engine { return s.eng.Load() }
+
+// engine is the handlers' load of the served engine; nil means building.
+func (s *Server) engine() *psi.Engine { return s.eng.Load() }
 
 // InFlight reports the number of currently admitted queries.
 func (s *Server) InFlight() int { return s.lim.InFlight() }

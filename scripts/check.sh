@@ -56,12 +56,13 @@ echo "== policy smoke =="
 # enforced end to end.
 go run ./cmd/psibench -policysweep -scale=tiny -queries 4 -dur 150ms > /dev/null
 
-echo "== coverage gate (internal/index, internal/rewrite, internal/predict) =="
+echo "== coverage gate (internal/index, internal/rewrite, internal/predict, internal/metrics, internal/live) =="
 # Per-package coverage for the packages this repo's correctness arguments
 # lean on hardest (the filtering/sharding contract, the rewriting
-# round-trip, and the learned planning policy's evidence rules);
+# round-trip, the learned planning policy's evidence rules, the
+# operational counters, and the epoch-versioned mutation store);
 # regressing below the floor fails the gate.
-cov_out=$(go test -cover ./internal/index ./internal/rewrite ./internal/predict)
+cov_out=$(go test -cover ./internal/index ./internal/rewrite ./internal/predict ./internal/metrics ./internal/live)
 echo "$cov_out"
 echo "$cov_out" | awk '
     /coverage:/ {
@@ -81,9 +82,10 @@ echo "== serve smoke =="
 # internal/server unit tests, which drive the handler in-process, cannot.
 tmpdir=$(mktemp -d)
 serve_pid=""
+mserve_pid=""
 # `|| true` twice over: under set -e a failing command at the end of the
 # trap's AND-list would override the script's real exit status.
-trap '{ [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true; } ; rm -rf "$tmpdir" || true' EXIT
+trap '{ [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true; } ; { [ -n "$mserve_pid" ] && kill "$mserve_pid" 2>/dev/null || true; } ; rm -rf "$tmpdir" || true' EXIT
 go build -o "$tmpdir/psiserve" ./cmd/psiserve
 go run ./cmd/psigen -dataset ppi -scale tiny -seed 1 \
     -out "$tmpdir/ds.txt" -queries 1 -sizes 4 -qout "$tmpdir/q.txt"
@@ -117,6 +119,70 @@ fi
 grep -q "drained cleanly" "$tmpdir/serve.log" || {
     echo "serve smoke: no clean drain recorded" >&2
     cat "$tmpdir/serve.log" >&2
+    exit 1
+}
+
+echo "== churn smoke (mutable engine, race-enabled binary) =="
+# First the churn bench, which exits non-zero if the churned engine's
+# answers diverge from a from-scratch rebuild or the per-mutation speedup
+# falls under the 10x floor. Then mutable serving end to end over a
+# race-enabled psiserve: start with -mutable (the engine builds in the
+# background), poll /healthz until it flips from "building" to "ok",
+# ingest the query graph itself, assert the very next answer grows, delete
+# it again, and assert the answer returns byte-identically to the
+# pre-ingest baseline before a clean SIGTERM drain.
+go run ./cmd/psibench -churn -index=ftv -shards=4 -scale=tiny -queries 2 > /dev/null
+go build -race -o "$tmpdir/psiserve_race" ./cmd/psiserve
+"$tmpdir/psiserve_race" -data "$tmpdir/ds.txt" -index ftv -mutable -shards 2 \
+    -addr 127.0.0.1:0 -portfile "$tmpdir/mport" 2> "$tmpdir/mserve.log" &
+mserve_pid=$!
+for _ in $(seq 100); do [ -s "$tmpdir/mport" ] && break; sleep 0.1; done
+mport=$(cat "$tmpdir/mport")
+for _ in $(seq 300); do
+    curl -sf "http://127.0.0.1:$mport/healthz" > /dev/null && break
+    sleep 0.2
+done
+curl -sf "http://127.0.0.1:$mport/healthz" | grep -q '"status":"ok"' || {
+    echo "churn smoke: server never became ready" >&2
+    cat "$tmpdir/mserve.log" >&2
+    exit 1
+}
+ids() { sed -n 's/.*"graph_ids":\[\([^]]*\)\].*/\1/p'; }
+base_ids=$(curl -sf -X POST --data-binary @"$tmpdir/q.txt" \
+    "http://127.0.0.1:$mport/query?cache=0" | ids)
+ingest=$(curl -sf -X POST --data-binary @"$tmpdir/q.txt" "http://127.0.0.1:$mport/graphs")
+handle=$(echo "$ingest" | sed -n 's/.*"handles":\[\([0-9]*\)\].*/\1/p')
+[ -n "$handle" ] || {
+    echo "churn smoke: ingest returned no handle: $ingest" >&2
+    exit 1
+}
+grown_ids=$(curl -sf -X POST --data-binary @"$tmpdir/q.txt" \
+    "http://127.0.0.1:$mport/query?cache=0" | ids)
+[ "$grown_ids" != "$base_ids" ] || {
+    echo "churn smoke: ingested graph invisible to the next query ($grown_ids)" >&2
+    exit 1
+}
+curl -sf -X DELETE "http://127.0.0.1:$mport/graphs/$handle" > /dev/null
+after_ids=$(curl -sf -X POST --data-binary @"$tmpdir/q.txt" \
+    "http://127.0.0.1:$mport/query?cache=0" | ids)
+[ "$after_ids" = "$base_ids" ] || {
+    echo "churn smoke: answer after delete ($after_ids) != pre-ingest baseline ($base_ids)" >&2
+    exit 1
+}
+curl -sf "http://127.0.0.1:$mport/metrics" | grep -q 'psi_engine_graphs_added_total 1' || {
+    echo "churn smoke: metrics did not count the ingest" >&2
+    exit 1
+}
+kill -TERM "$mserve_pid"
+if ! wait "$mserve_pid"; then
+    echo "churn smoke: psiserve did not exit 0 on SIGTERM" >&2
+    cat "$tmpdir/mserve.log" >&2
+    exit 1
+fi
+mserve_pid=""
+grep -q "drained cleanly" "$tmpdir/mserve.log" || {
+    echo "churn smoke: no clean drain recorded" >&2
+    cat "$tmpdir/mserve.log" >&2
     exit 1
 }
 
