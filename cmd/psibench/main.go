@@ -55,6 +55,15 @@
 //
 //	psibench -churn [-index ftv] [-shards 8] [-scale tiny] [-seed 1]
 //	         [-queries 6] [-json]
+//
+// Coldstart mode (-coldstart) benchmarks the persistent-snapshot path: it
+// builds a dataset engine from scratch, saves a snapshot, cold-starts a
+// second engine from the file alone, asserts the answers are byte-identical
+// and that the load beats the build by at least 10x; its -json output is
+// the committed BENCH_snapshot.json:
+//
+//	psibench -coldstart [-index race] [-shards 4] [-scale tiny] [-seed 1]
+//	         [-queries 12] [-snapfile s.psisnap] [-json]
 package main
 
 import (
@@ -87,6 +96,8 @@ func main() {
 		sweepFlag   = flag.Bool("shardsweep", false, "sweep shard counts K=1/2/4/8 over both dataset shapes, asserting answer parity with K=1")
 		policyFlag  = flag.Bool("policysweep", false, "sweep planning policies (race, solo-best, auto) over uniform and skewed serving mixes, asserting answer parity")
 		churnFlag   = flag.Bool("churn", false, "benchmark the mutable engine under mixed ingest/delete/query load, asserting parity with a from-scratch rebuild")
+		coldFlag    = flag.Bool("coldstart", false, "benchmark snapshot save/load against a from-scratch build, asserting answer parity")
+		snapFlag    = flag.String("snapfile", "", "coldstart mode: snapshot file path (default: a temp file, removed afterwards)")
 		jsonFlag    = flag.Bool("json", false, "engine/serve/shardsweep mode: emit machine-readable JSON results")
 	)
 	flag.Parse()
@@ -101,6 +112,13 @@ func main() {
 	scale, err := gen.ParseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *coldFlag {
+		if err := runColdstartBench(scale, *scaleFlag, *indexFlag, *seedFlag, *queriesFlag, *shardsFlag, *capFlag, *snapFlag, *jsonFlag); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *churnFlag {

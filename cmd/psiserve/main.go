@@ -19,6 +19,13 @@
 // full answer, marked coalesced:true. Pass -no-coalesce (or per-request
 // ?cache=0) to force independent executions.
 //
+// With -snapshot the engine's full state persists across restarts: when the
+// file exists the server cold-starts from it alone (no -data/-gen, no index
+// builds — the prebuilt arrays deserialize in milliseconds); when it does
+// not, the engine builds as usual and saves the snapshot once ready. POST
+// /snapshot re-saves the current state at any time — on a mutable server
+// that includes every ingest/delete applied so far.
+//
 // With -mutable the dataset engine accepts online mutations: graphs can be
 // ingested, removed and replaced while queries are in flight, each mutation
 // bumping an epoch-versioned index snapshot whose answers stay byte-identical
@@ -39,6 +46,8 @@
 //	     (a tombstone; shard-local compaction after enough of them).
 //	PUT  /graphs/{handle}  — body: exactly one graph; replaces the graph
 //	     behind the handle in place.
+//	POST /snapshot — persist the engine's current state to the -snapshot
+//	     path (409 unless -snapshot was given).
 //	GET  /stats    — JSON snapshot: engine counters, win tallies, index
 //	     build provenance, cache effectiveness, admission state, coalescing
 //	     counters, the dataset epoch and mutation counters (with -mutable),
@@ -98,15 +107,34 @@ func main() {
 		cacheFlag    = flag.Int("cache", 256, "server result-cache entries (negative disables)")
 		limitFlag    = flag.Int("limit", 1000, "default embedding limit per query")
 		drainFlag    = flag.Duration("drain", 10*time.Second, "graceful-drain grace before stragglers are cancelled")
+		snapFlag     = flag.String("snapshot", "", "snapshot file: cold-start from it when present (no -data/-gen needed), save to it after a fresh build; POST /snapshot re-saves")
 	)
 	flag.Parse()
+	// Flags the user actually set, as opposed to defaults: the snapshot
+	// carries its own shard count and index portfolio, so on a cold start
+	// only explicit flags are forwarded (and must then agree with the file).
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	ds, err := loadDataset(*dataFlag, *genFlag, *scaleFlag, *seedFlag)
-	if err != nil {
-		fatal(err)
+	snapExists := false
+	if *snapFlag != "" {
+		if _, err := os.Stat(*snapFlag); err == nil {
+			snapExists = true
+		}
 	}
-	if *mutableFlag && len(ds) < 2 {
-		fatal(errors.New("-mutable requires a dataset of more than one graph"))
+	var ds []*graph.Graph
+	if !snapExists {
+		var err error
+		ds, err = loadDataset(*dataFlag, *genFlag, *scaleFlag, *seedFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if *mutableFlag && len(ds) < 2 {
+			fatal(errors.New("-mutable requires a dataset of more than one graph"))
+		}
+		if *snapFlag != "" && len(ds) < 2 {
+			fatal(errors.New("-snapshot requires a dataset engine (more than one graph)"))
+		}
 	}
 
 	srv := server.NewBuilding(server.Options{
@@ -115,6 +143,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		CacheSize:      *cacheFlag,
 		NoCoalesce:     *noCoalesce,
+		SnapshotPath:   *snapFlag,
 	})
 	defer func() {
 		if eng := srv.Engine(); eng != nil {
@@ -123,7 +152,27 @@ func main() {
 	}()
 	buildErr := make(chan error, 1)
 	build := func(announce bool) {
-		eng, err := buildEngine(ds, *algosFlag, *rewrFlag, *modeFlag, *indexFlag, *policyFlag, *shardsFlag, *workersFlag, *compactFlag, *timeoutFlag, *mutableFlag)
+		var (
+			eng *psi.Engine
+			err error
+		)
+		if snapExists {
+			start := time.Now()
+			eng, err = engineFromSnapshot(*snapFlag, explicit, *indexFlag, *policyFlag, *shardsFlag, *workersFlag, *compactFlag, *timeoutFlag, *mutableFlag)
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "psiserve: cold-started from %s in %v\n", *snapFlag, time.Since(start).Round(time.Millisecond))
+			}
+		} else {
+			eng, err = buildEngine(ds, *algosFlag, *rewrFlag, *modeFlag, *indexFlag, *policyFlag, *shardsFlag, *workersFlag, *compactFlag, *timeoutFlag, *mutableFlag)
+			if err == nil && *snapFlag != "" {
+				if serr := eng.SaveSnapshot(*snapFlag); serr != nil {
+					eng.Close()
+					err = fmt.Errorf("saving initial snapshot: %w", serr)
+				} else {
+					fmt.Fprintf(os.Stderr, "psiserve: snapshot saved to %s\n", *snapFlag)
+				}
+			}
+		}
 		if err != nil {
 			buildErr <- err
 			return
@@ -236,6 +285,32 @@ func loadDataset(path, genKind, scaleName string, seed int64) ([]*graph.Graph, e
 		return []*graph.Graph{gen.WordnetLike(scale, seed)}, nil
 	}
 	return nil, fmt.Errorf("unknown -gen kind %q", genKind)
+}
+
+// engineFromSnapshot cold-starts the engine from a saved snapshot: the file
+// carries the dataset, the index portfolio and the shard count, so only
+// flags the user explicitly set are forwarded — the engine then insists they
+// agree with the file rather than silently rebuilding.
+func engineFromSnapshot(path string, explicit map[string]bool, indexSpec, policy string, shards, workers, compactEvery int, timeout time.Duration, mutable bool) (*psi.Engine, error) {
+	opts := psi.EngineOptions{
+		Snapshot:     path,
+		Timeout:      timeout,
+		IndexWorkers: workers,
+		IndexPolicy:  policy,
+		Mutable:      mutable,
+		CompactEvery: compactEvery,
+	}
+	if explicit["shards"] {
+		opts.Shards = shards
+	}
+	if explicit["index"] {
+		var err error
+		opts.Indexes, err = psi.ParseIndexSpec(indexSpec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return psi.NewDatasetEngine(nil, opts)
 }
 
 // buildEngine constructs the NFV or FTV engine the dataset shape calls for.

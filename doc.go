@@ -335,6 +335,42 @@
 //	res, _ := eng.Query(ctx, q, 0)   // res.Epoch: the version it answered
 //	_, _ = eng.RemoveGraph(ctx, h)   // tombstone; compaction when due
 //
+// # Persistence architecture
+//
+// Building a filtering index is the expensive part of engine construction —
+// path enumeration over every dataset graph dominates start-up by orders of
+// magnitude — and it is pure recomputation: the same dataset always yields
+// the same arrays. Engine.SaveSnapshot therefore persists the full engine
+// state to one file, and EngineOptions.Snapshot reconstructs an engine from
+// that file alone (nil dataset — the snapshot carries it) that answers
+// every query byte-identically to the freshly built one:
+//
+//	eng.SaveSnapshot("ds.psisnap")
+//	cold, _ := psi.NewDatasetEngine(nil, psi.EngineOptions{Snapshot: "ds.psisnap"})
+//
+// The file (internal/snapshot) is a versioned, checksummed container: a
+// section table of named, CRC-32C-guarded byte runs holding the dataset's
+// CSR arrays, each index kind's features and postings as flat arrays in
+// canonical order, and — for mutable engines — the live store's slot,
+// tombstone, handle and epoch state, so mutation history and cache-keying
+// epochs survive a restart and a churned-then-saved engine resumes exactly
+// where it stopped. Writes are atomic (temp file + rename); loads validate
+// every checksum and every structural invariant before constructing
+// anything, so a corrupt or truncated file fails closed with an error
+// rather than serving from damaged state. Options given alongside Snapshot
+// must agree with the file (mutability, shard count, index kinds) — a
+// mismatch is an error, never a silent rebuild. Every array is a single
+// contiguous length-prefixed section, which keeps the format mmap-forward:
+// a later loader can map the file and page sections in lazily without a
+// format change (the contract is spelled out in internal/snapshot's doc).
+//
+// The serving layer completes the loop: psiserve -snapshot cold-starts from
+// the file when it exists (milliseconds instead of the full index build),
+// saves it after a fresh build when it does not, and re-saves on demand via
+// POST /snapshot. cmd/psibench -coldstart measures the payoff and enforces
+// the invariant end to end (BENCH_snapshot.json: the load beats the rebuild
+// by well over the 10x floor, with parity asserted query by query).
+//
 // See examples/ for runnable programs and cmd/psibench for the experiment
 // harness that regenerates every table and figure of the paper (psibench
 // -engine benchmarks the Engine facade, including the index race).

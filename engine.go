@@ -159,6 +159,16 @@ type EngineOptions struct {
 	// features with a shard-local rebuild. 0 means live.DefaultCompactEvery
 	// (8); ignored for static engines.
 	CompactEvery int
+	// Snapshot, when set, constructs the dataset engine by loading a
+	// persisted snapshot (written by SaveSnapshot) instead of extracting
+	// features from a dataset: pass a nil dataset to NewDatasetEngine. The
+	// snapshot dictates the dataset, index portfolio, shard count and
+	// (for mutable engines) the full mutation state; Indexes/Index, Shards
+	// and Mutable must be left zero or agree with the snapshot — a
+	// mismatch is an error, never a silent rebuild. Runtime knobs
+	// (IndexPolicy, IndexWorkers, CacheSize, CompactEvery, Workers, mode
+	// and budget options) apply as usual.
+	Snapshot string
 }
 
 // Index policies for EngineOptions.IndexPolicy and Plan.IndexPolicy.
@@ -378,6 +388,12 @@ func banditOptions(opts EngineOptions) predict.BanditOptions {
 // race policy, every query races the full streaming pipeline of each index
 // and adopts the first to emit a verified candidate, cancelling the rest.
 func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
+	if opts.Snapshot != "" {
+		if ds != nil {
+			return nil, errors.New("psi: EngineOptions.Snapshot requires a nil dataset (the snapshot carries it)")
+		}
+		return newSnapshotEngine(opts)
+	}
 	if len(ds) == 0 {
 		return nil, errors.New("psi: NewDatasetEngine requires a non-empty dataset")
 	}
@@ -385,53 +401,11 @@ func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	kinds := opts.Indexes
-	if len(kinds) == 0 {
-		k := opts.Index
-		if k == "" {
-			k = "grapes"
-		}
-		kinds = []string{k}
-	}
-	// Validate the portfolio and policy before paying for the builds:
-	// extracting the features of a large dataset several times over only to
-	// report a misspelt option would be hostile — including an unknown kind
-	// *after* valid ones, which must not cost the preceding builds first.
-	// Duplicate kinds are rejected rather than deduplicated: racing an
-	// index against an identical copy of itself is never what the caller
-	// meant.
-	registered := index.Kinds()
-	seenKind := map[string]bool{}
-	for _, kind := range kinds {
-		if seenKind[kind] {
-			e.Close()
-			return nil, fmt.Errorf("psi: duplicate index kind %q in portfolio %v", kind, kinds)
-		}
-		seenKind[kind] = true
-		if !slices.Contains(registered, kind) {
-			e.Close()
-			return nil, fmt.Errorf("psi: unknown index kind %q (registered: %v)", kind, registered)
-		}
-	}
-	switch opts.IndexPolicy {
-	case "":
-		if len(kinds) >= 2 {
-			e.ixPolicy = IndexRace
-		} else {
-			e.ixPolicy = IndexFixed
-		}
-	case IndexRace, IndexFixed, IndexAuto:
-		e.ixPolicy = opts.IndexPolicy
-	default:
+	if err := e.configurePortfolio(opts, engineKinds(opts)); err != nil {
 		e.Close()
-		return nil, fmt.Errorf("psi: unknown index policy %q (want %q, %q or %q)", opts.IndexPolicy, IndexRace, IndexFixed, IndexAuto)
+		return nil, err
 	}
-	e.kinds = kinds
-	e.rewrites = engineRewritings(opts)
-	e.cacheSize = opts.CacheSize
-	if len(kinds) < 2 && e.ixPolicy != IndexFixed {
-		e.ixPolicy = IndexFixed
-	}
+	kinds := e.kinds
 	var indexes []FilterIndex
 	if opts.Mutable {
 		store, serr := live.NewStore(context.Background(), ds, live.Options{
@@ -492,13 +466,72 @@ func NewDatasetEngine(ds []*Graph, opts EngineOptions) (*Engine, error) {
 		st.refs.Store(1)
 		e.dsst.Store(st)
 	}
+	e.finishPortfolio(opts, indexes)
+	return e, nil
+}
+
+// engineKinds resolves the configured index-kind portfolio: Indexes, or the
+// single Index, or the "grapes" default.
+func engineKinds(opts EngineOptions) []string {
+	if len(opts.Indexes) > 0 {
+		return opts.Indexes
+	}
+	k := opts.Index
+	if k == "" {
+		k = "grapes"
+	}
+	return []string{k}
+}
+
+// configurePortfolio validates the index-kind portfolio and policy before
+// any build or load is paid for: extracting the features of a large dataset
+// several times over only to report a misspelt option would be hostile —
+// including an unknown kind *after* valid ones, which must not cost the
+// preceding builds first. Duplicate kinds are rejected rather than
+// deduplicated: racing an index against an identical copy of itself is
+// never what the caller meant.
+func (e *Engine) configurePortfolio(opts EngineOptions, kinds []string) error {
+	registered := index.Kinds()
+	seenKind := map[string]bool{}
+	for _, kind := range kinds {
+		if seenKind[kind] {
+			return fmt.Errorf("psi: duplicate index kind %q in portfolio %v", kind, kinds)
+		}
+		seenKind[kind] = true
+		if !slices.Contains(registered, kind) {
+			return fmt.Errorf("psi: unknown index kind %q (registered: %v)", kind, registered)
+		}
+	}
+	switch opts.IndexPolicy {
+	case "":
+		if len(kinds) >= 2 {
+			e.ixPolicy = IndexRace
+		} else {
+			e.ixPolicy = IndexFixed
+		}
+	case IndexRace, IndexFixed, IndexAuto:
+		e.ixPolicy = opts.IndexPolicy
+	default:
+		return fmt.Errorf("psi: unknown index policy %q (want %q, %q or %q)", opts.IndexPolicy, IndexRace, IndexFixed, IndexAuto)
+	}
+	e.kinds = kinds
+	e.rewrites = engineRewritings(opts)
+	e.cacheSize = opts.CacheSize
+	if len(kinds) < 2 && e.ixPolicy != IndexFixed {
+		e.ixPolicy = IndexFixed
+	}
+	return nil
+}
+
+// finishPortfolio records the portfolio arm names and arms the auto-policy
+// bandit once the index portfolio is live.
+func (e *Engine) finishPortfolio(opts EngineOptions, indexes []FilterIndex) {
 	for _, x := range indexes {
 		e.ixNames = append(e.ixNames, x.Name())
 	}
 	if e.ixPolicy == IndexAuto && len(indexes) >= 2 {
 		e.bandit = predict.NewBandit(e.ixNames, banditOptions(opts))
 	}
-	return e, nil
 }
 
 // newState builds the epoch state around a live snapshot of a mutable

@@ -1,0 +1,283 @@
+package psi_test
+
+// Snapshot round-trip property tests at the engine surface: for every index
+// kind portfolio × shard count × static/mutable, an engine loaded from a
+// snapshot must answer byte-identically to the engine that saved it — and a
+// restored mutable engine must stay in lockstep with the original under
+// further identical mutations. Plus the options-vs-snapshot mismatch
+// surface and the corrupt-file fail-closed guarantee.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	psi "github.com/psi-graph/psi"
+)
+
+// snapAnswers runs every query on the engine and collects the graph IDs.
+func snapAnswers(t *testing.T, e *psi.Engine, queries []*psi.Graph) [][]int {
+	t.Helper()
+	out := make([][]int, len(queries))
+	for i, q := range queries {
+		res, err := e.Query(context.Background(), q, 0)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		out[i] = res.GraphIDs
+	}
+	return out
+}
+
+func assertSameAnswers(t *testing.T, label string, want, got [][]int) {
+	t.Helper()
+	for i := range want {
+		if !slices.Equal(want[i], got[i]) {
+			t.Errorf("%s: query %d answered %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestEngineSnapshotRoundTripStatic: save a static engine (full index-kind
+// portfolio) at several shard counts, load it with zero options, and demand
+// identical answers, shard count and dataset.
+func TestEngineSnapshotRoundTripStatic(t *testing.T) {
+	ds := psi.GeneratePPI(psi.Tiny, 3)
+	kinds, err := psi.ParseIndexSpec("ftv,grapes,ggsx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]*psi.Graph, 5)
+	for i := range queries {
+		queries[i] = psi.ExtractQuery(ds[i%len(ds)], 3+i%3, int64(40+i))
+	}
+	for _, shards := range []int{1, 4} {
+		path := filepath.Join(t.TempDir(), "static.psnap")
+		orig, err := psi.NewDatasetEngine(ds, psi.EngineOptions{Indexes: kinds, Shards: shards})
+		if err != nil {
+			t.Fatalf("K=%d: %v", shards, err)
+		}
+		want := snapAnswers(t, orig, queries)
+		if err := orig.SaveSnapshot(path); err != nil {
+			t.Fatalf("K=%d: save: %v", shards, err)
+		}
+		loaded, err := psi.NewDatasetEngine(nil, psi.EngineOptions{Snapshot: path})
+		if err != nil {
+			t.Fatalf("K=%d: load: %v", shards, err)
+		}
+		if loaded.Mutable() {
+			t.Errorf("K=%d: loaded static engine reports mutable", shards)
+		}
+		if loaded.Shards() != orig.Shards() {
+			t.Errorf("K=%d: loaded Shards() = %d, want %d", shards, loaded.Shards(), orig.Shards())
+		}
+		if len(loaded.Dataset()) != len(ds) {
+			t.Errorf("K=%d: loaded dataset has %d graphs, want %d", shards, len(loaded.Dataset()), len(ds))
+		}
+		assertSameAnswers(t, "loaded static", want, snapAnswers(t, loaded, queries))
+
+		// Streamed answers agree too (exercises the restored merge path).
+		for i, q := range queries {
+			var ids []int
+			if err := loaded.AnswerStream(context.Background(), q, func(id int) bool {
+				ids = append(ids, id)
+				return true
+			}); err != nil {
+				t.Fatalf("K=%d: stream: %v", shards, err)
+			}
+			if !slices.Equal(ids, want[i]) {
+				t.Errorf("K=%d: streamed query %d = %v, want %v", shards, i, ids, want[i])
+			}
+		}
+
+		// A re-save of the loaded engine must load again (save → load →
+		// save → load is closed under the codec).
+		again := filepath.Join(t.TempDir(), "again.psnap")
+		if err := loaded.SaveSnapshot(again); err != nil {
+			t.Fatalf("K=%d: re-save: %v", shards, err)
+		}
+		reloaded, err := psi.NewDatasetEngine(nil, psi.EngineOptions{Snapshot: again})
+		if err != nil {
+			t.Fatalf("K=%d: re-load: %v", shards, err)
+		}
+		assertSameAnswers(t, "reloaded static", want, snapAnswers(t, reloaded, queries))
+		reloaded.Close()
+		loaded.Close()
+		orig.Close()
+	}
+}
+
+// TestEngineSnapshotRoundTripMutable: churn a mutable engine, save, load,
+// and demand the restored engine not only answer identically but continue
+// identically — same handles, same epochs, same compaction points — under
+// further lockstep mutations.
+func TestEngineSnapshotRoundTripMutable(t *testing.T) {
+	ds := psi.GeneratePPI(psi.Tiny, 4)
+	pool := mutablePool(90, 16)
+	kinds := []string{"ftv", "grapes"}
+	queries := make([]*psi.Graph, 4)
+	for i := range queries {
+		queries[i] = psi.ExtractQuery(ds[i%len(ds)], 3+i%3, int64(60+i))
+	}
+	for _, shards := range []int{1, 4} {
+		path := filepath.Join(t.TempDir(), "mutable.psnap")
+		orig, err := psi.NewDatasetEngine(ds, psi.EngineOptions{
+			Indexes: kinds, Shards: shards, Mutable: true, CompactEvery: 2,
+		})
+		if err != nil {
+			t.Fatalf("K=%d: %v", shards, err)
+		}
+		// Churn: adds, a removal (leaves a tombstone), a replace.
+		var handles []psi.GraphHandle
+		for i := 0; i < 4; i++ {
+			h, err := orig.AddGraph(context.Background(), pool[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+		if _, err := orig.RemoveGraph(context.Background(), handles[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := orig.ReplaceGraph(context.Background(), handles[2], pool[4]); err != nil {
+			t.Fatal(err)
+		}
+		want := snapAnswers(t, orig, queries)
+		epoch := orig.Epoch()
+		if err := orig.SaveSnapshot(path); err != nil {
+			t.Fatalf("K=%d: save: %v", shards, err)
+		}
+
+		loaded, err := psi.NewDatasetEngine(nil, psi.EngineOptions{
+			Snapshot: path, Mutable: true, CompactEvery: 2,
+		})
+		if err != nil {
+			t.Fatalf("K=%d: load: %v", shards, err)
+		}
+		if !loaded.Mutable() {
+			t.Fatalf("K=%d: loaded engine is not mutable", shards)
+		}
+		if loaded.Epoch() != epoch {
+			t.Errorf("K=%d: loaded epoch %d, want %d", shards, loaded.Epoch(), epoch)
+		}
+		if !slices.Equal(loaded.Handles(), orig.Handles()) {
+			t.Errorf("K=%d: loaded handles %v, want %v", shards, loaded.Handles(), orig.Handles())
+		}
+		assertSameAnswers(t, "loaded mutable", want, snapAnswers(t, loaded, queries))
+
+		// Lockstep continuation on BOTH engines: identical mutations must
+		// issue identical handles and keep answers identical — the restored
+		// engine preserved the next-handle counter and tombstone schedule.
+		for i := 5; i < 9; i++ {
+			h1, err := orig.AddGraph(context.Background(), pool[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := loaded.AddGraph(context.Background(), pool[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h1 != h2 {
+				t.Fatalf("K=%d: lockstep add %d issued handles %d vs %d", shards, i, h1, h2)
+			}
+			if i%2 == 1 {
+				c1, err := orig.RemoveGraph(context.Background(), h1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c2, err := loaded.RemoveGraph(context.Background(), h1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c1 != c2 {
+					t.Fatalf("K=%d: lockstep remove %d compacted %v vs %v", shards, i, c1, c2)
+				}
+			}
+			if orig.Epoch() != loaded.Epoch() {
+				t.Fatalf("K=%d: epochs diverged: %d vs %d", shards, orig.Epoch(), loaded.Epoch())
+			}
+			assertSameAnswers(t, "lockstep", snapAnswers(t, orig, queries), snapAnswers(t, loaded, queries))
+		}
+		loaded.Close()
+		orig.Close()
+	}
+}
+
+// TestEngineSnapshotMismatch: every way the options can contradict the
+// snapshot must fail closed — and a corrupted file must never produce an
+// engine.
+func TestEngineSnapshotMismatch(t *testing.T) {
+	ds := psi.GeneratePPI(psi.Tiny, 5)
+	path := filepath.Join(t.TempDir(), "e.psnap")
+	orig, err := psi.NewDatasetEngine(ds, psi.EngineOptions{Indexes: []string{"ftv", "grapes"}, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	if err := orig.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		opts    psi.EngineOptions
+		wantSub string
+	}{
+		{"mutable mismatch", psi.EngineOptions{Snapshot: path, Mutable: true}, "mutable"},
+		{"shard mismatch", psi.EngineOptions{Snapshot: path, Shards: 3}, "shards"},
+		{"kind mismatch", psi.EngineOptions{Snapshot: path, Index: "ggsx"}, "indexes"},
+		{"kind subset", psi.EngineOptions{Snapshot: path, Indexes: []string{"ftv"}}, "indexes"},
+		{"missing file", psi.EngineOptions{Snapshot: path + ".nope"}, ""},
+	}
+	for _, tc := range cases {
+		if _, err := psi.NewDatasetEngine(nil, tc.opts); err == nil {
+			t.Errorf("%s: load succeeded", tc.name)
+		} else if tc.wantSub != "" && !strings.Contains(strings.ToLower(err.Error()), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+
+	// Matching non-zero options are accepted.
+	ok, err := psi.NewDatasetEngine(nil, psi.EngineOptions{
+		Snapshot: path, Shards: 2, Indexes: []string{"grapes", "ftv"}, // order-insensitive
+	})
+	if err != nil {
+		t.Fatalf("matching options rejected: %v", err)
+	}
+	ok.Close()
+
+	// A dataset alongside Snapshot is ambiguous, not silently resolved.
+	if _, err := psi.NewDatasetEngine(ds, psi.EngineOptions{Snapshot: path}); err == nil {
+		t.Error("Snapshot with non-nil dataset succeeded")
+	}
+
+	// NFV engines have no snapshot surface.
+	nfv, err := psi.NewEngine(ds[0], psi.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nfv.Close()
+	if err := nfv.SaveSnapshot(filepath.Join(t.TempDir(), "nfv.psnap")); err == nil {
+		t.Error("NFV SaveSnapshot succeeded")
+	}
+
+	// Corrupt one byte mid-file: the load must fail with a checksum error,
+	// never hand back a partial engine.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	bad := filepath.Join(t.TempDir(), "bad.psnap")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := psi.NewDatasetEngine(nil, psi.EngineOptions{Snapshot: bad}); err == nil {
+		t.Error("corrupted snapshot loaded")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupt-load error %q does not mention checksum", err)
+	}
+}

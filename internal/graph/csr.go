@@ -1,0 +1,89 @@
+package graph
+
+import "fmt"
+
+// CSR exposes the graph's raw flat arrays — vertex labels, the CSR offsets
+// array (len N()+1), the flat sorted neighbor lists (len 2*M()) and the
+// parallel flat edge-label array. This is the serialization surface for the
+// snapshot format: the four slices are exactly the contiguous arrays an
+// mmap-backed loader would want to page in sequentially. The returned slices
+// alias the graph's internal storage; callers must not modify them.
+func (g *Graph) CSR() (labels []Label, offsets []int32, nbrs []int32, elabs []Label) {
+	return g.labels, g.offsets, g.nbrs, g.elabs
+}
+
+// FromCSR reconstructs a graph from raw CSR arrays, e.g. read back from a
+// snapshot. It validates the full structural invariant the Builder
+// establishes — offsets monotone and anchored, neighbor lists sorted,
+// duplicate- and self-loop-free, symmetric with matching edge labels,
+// labels non-negative — so corrupt or hand-rolled input can never produce
+// a graph that violates what the matchers and indexes assume. On success
+// the result is Equal to the graph whose CSR() produced the arrays (the
+// derived label index is rebuilt deterministically from labels). The input
+// slices are retained, not copied; callers must not modify them afterward.
+func FromCSR(name string, labels []Label, offsets []int32, nbrs []int32, elabs []Label) (*Graph, error) {
+	n := len(labels)
+	if len(offsets) != n+1 {
+		return nil, fmt.Errorf("graph %q: csr: %d offsets for %d vertices (want n+1)", name, len(offsets), n)
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph %q: csr: offsets[0] = %d, want 0", name, offsets[0])
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v+1] < offsets[v] {
+			return nil, fmt.Errorf("graph %q: csr: offsets not monotone at vertex %d (%d > %d)", name, v, offsets[v], offsets[v+1])
+		}
+	}
+	total := int(offsets[n])
+	if len(nbrs) != total {
+		return nil, fmt.Errorf("graph %q: csr: %d neighbor entries, offsets claim %d", name, len(nbrs), total)
+	}
+	if len(elabs) != total {
+		return nil, fmt.Errorf("graph %q: csr: %d edge labels for %d neighbor entries", name, len(elabs), total)
+	}
+	if total%2 != 0 {
+		return nil, fmt.Errorf("graph %q: csr: odd half-edge count %d", name, total)
+	}
+	maxLbl := Label(-1)
+	for v, l := range labels {
+		if l < 0 {
+			return nil, fmt.Errorf("graph %q: csr: negative label %d on vertex %d", name, l, v)
+		}
+		if l > maxLbl {
+			maxLbl = l
+		}
+	}
+	for v := 0; v < n; v++ {
+		prev := int32(-1)
+		for i := offsets[v]; i < offsets[v+1]; i++ {
+			w := nbrs[i]
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph %q: csr: neighbor %d of vertex %d out of range [0,%d)", name, w, v, n)
+			}
+			if int(w) == v {
+				return nil, fmt.Errorf("graph %q: csr: self-loop on vertex %d", name, v)
+			}
+			if w <= prev {
+				return nil, fmt.Errorf("graph %q: csr: neighbor list of vertex %d not strictly ascending at %d", name, v, w)
+			}
+			prev = w
+			if elabs[i] < 0 {
+				return nil, fmt.Errorf("graph %q: csr: negative edge label %d on (%d,%d)", name, elabs[i], v, w)
+			}
+		}
+	}
+	g := &Graph{name: name, labels: labels, offsets: offsets, nbrs: nbrs, elabs: elabs, m: total / 2, maxLbl: maxLbl}
+	// Symmetry: every half-edge (v,w) must have its mirror (w,v) with the
+	// same label. Checked after construction so the binary-search accessors
+	// can do the lookups; any failure discards g before it escapes.
+	for v := 0; v < n; v++ {
+		base := g.offsets[v]
+		for i, w := range g.Neighbors(v) {
+			if !g.HasEdgeLabeled(int(w), v, g.elabs[base+int32(i)]) {
+				return nil, fmt.Errorf("graph %q: csr: edge (%d,%d) has no matching mirror half-edge", name, v, w)
+			}
+		}
+	}
+	g.buildLabelIndex()
+	return g, nil
+}

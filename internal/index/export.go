@@ -1,0 +1,221 @@
+package index
+
+// Snapshot support: the optional export capability an index kind implements
+// so its feature arrays can be written to the on-disk snapshot format
+// (internal/snapshot), and the restorer registry the loader dispatches on to
+// rebuild a kind from those arrays without re-enumerating any paths. Export
+// and restore are inverses by contract: Restore(kind, ds, Export(x)) must
+// answer every query byte-identically to x.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/psi-graph/psi/internal/ftv"
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/vf2"
+)
+
+// FeaturePosting is one graph's entry in an exported feature's posting list.
+type FeaturePosting struct {
+	// GraphID is the graph's ID within the index's own dataset (local, for
+	// per-shard sub-indexes).
+	GraphID int
+	// Count is the feature's occurrence count in the graph.
+	Count int32
+	// Locations holds the sorted vertex IDs the occurrences touch, for
+	// kinds that keep location info (Grapes); nil otherwise.
+	Locations []int32
+}
+
+// ExportedFeature is one indexed label sequence with its full posting list —
+// the flat, structure-free representation every kind round-trips through the
+// snapshot format.
+type ExportedFeature struct {
+	Labels   []graph.Label
+	Postings []FeaturePosting
+}
+
+// FeatureExporter is the snapshot capability of an index kind: ExportFeatures
+// visits every indexed feature exactly once, in deterministic order
+// (lexicographically ascending label sequences) with postings in ascending
+// graph-ID order, so the serialized bytes are identical across runs.
+// MaxPathLen reports the indexed path length, persisted so the restored
+// index extracts query features identically.
+type FeatureExporter interface {
+	ExportFeatures(visit func(labels []graph.Label, postings []FeaturePosting) error) error
+	MaxPathLen() int
+}
+
+// Export collects an index's features via its FeatureExporter capability.
+// It returns an error for kinds that cannot be snapshotted.
+func Export(x Index) ([]ExportedFeature, int, error) {
+	ex, ok := x.(FeatureExporter)
+	if !ok {
+		return nil, 0, fmt.Errorf("index: %s does not support feature export", x.Name())
+	}
+	var out []ExportedFeature
+	err := ex.ExportFeatures(func(labels []graph.Label, postings []FeaturePosting) error {
+		out = append(out, ExportedFeature{
+			Labels:   append([]graph.Label(nil), labels...),
+			Postings: append([]FeaturePosting(nil), postings...),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, ex.MaxPathLen(), nil
+}
+
+// RestoreFunc rebuilds one kind over ds from exported features. opts carries
+// the runtime knobs the restored index needs (Workers, Pool); MaxPathLen
+// comes from the snapshot, not opts, so filtering stays identical to the
+// saved index.
+type RestoreFunc func(ds []*graph.Graph, maxPathLen int, opts Options, feats []ExportedFeature) (Index, error)
+
+var (
+	restorerMu sync.RWMutex
+	restorers  = map[string]RestoreFunc{}
+)
+
+// RegisterRestorer makes a restore function available under a kind name.
+// Implementations call it from init, next to Register; duplicates panic.
+func RegisterRestorer(kind string, fn RestoreFunc) {
+	restorerMu.Lock()
+	defer restorerMu.Unlock()
+	if _, dup := restorers[kind]; dup {
+		panic("index: duplicate restorer for kind " + kind)
+	}
+	restorers[kind] = fn
+}
+
+// Restore rebuilds a monolithic index of the registered kind from exported
+// features — the load half of the snapshot round trip.
+func Restore(kind string, ds []*graph.Graph, maxPathLen int, opts Options, feats []ExportedFeature) (Index, error) {
+	restorerMu.RLock()
+	fn := restorers[kind]
+	restorerMu.RUnlock()
+	if fn == nil {
+		return nil, fmt.Errorf("index: no restorer for kind %q", kind)
+	}
+	for _, f := range feats {
+		for _, p := range f.Postings {
+			if p.GraphID < 0 || p.GraphID >= len(ds) {
+				return nil, fmt.Errorf("index: restoring %q: posting graph ID %d out of range [0,%d)", kind, p.GraphID, len(ds))
+			}
+		}
+	}
+	return fn(ds, maxPathLen, opts, feats)
+}
+
+// CompareLabelSeqs orders label sequences lexicographically (shorter prefix
+// first) — the canonical feature order of the snapshot format.
+func CompareLabelSeqs(a, b []graph.Label) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// SortPostings orders a posting list by ascending graph ID, in place — the
+// canonical posting order of the snapshot format.
+func SortPostings(ps []FeaturePosting) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].GraphID < ps[j].GraphID })
+}
+
+// Subs returns the per-shard sub-indexes in shard order — the snapshot
+// layer's decomposition surface, mirroring NewShardedFrom's assembly one.
+// The returned slice is a copy; the sub-indexes are not.
+func (x *Sharded) Subs() []Index {
+	return append([]Index(nil), x.shards...)
+}
+
+// ShardDataset returns the sub-dataset of shard s under K-way round-robin
+// partitioning: every k-th graph starting at s, preserving ascending-global
+// order. Exported so the snapshot loader partitions a restored dataset by
+// exactly the rule BuildSharded used.
+func ShardDataset(ds []*graph.Graph, s, k int) []*graph.Graph {
+	return shardDataset(ds, s, k)
+}
+
+func init() {
+	RegisterRestorer(KindPath, restorePath)
+}
+
+// ExportFeatures implements FeatureExporter for the flat path index.
+func (x *Path) ExportFeatures(visit func(labels []graph.Label, postings []FeaturePosting) error) error {
+	keys := make([][]graph.Label, 0, len(x.postings))
+	byIdx := make([]ftv.Key, 0, len(x.postings))
+	for key := range x.postings {
+		keys = append(keys, key.Labels())
+		byIdx = append(byIdx, key)
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return CompareLabelSeqs(keys[order[i]], keys[order[j]]) < 0 })
+	for _, i := range order {
+		m := x.postings[byIdx[i]]
+		ps := make([]FeaturePosting, 0, len(m))
+		for gid, c := range m {
+			ps = append(ps, FeaturePosting{GraphID: gid, Count: c})
+		}
+		SortPostings(ps)
+		if err := visit(keys[i], ps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restorePath rebuilds the flat path index: posting maps straight from the
+// exported lists, fresh VF2 matchers per graph. No path enumeration runs,
+// which is where the cold-start speedup comes from.
+func restorePath(ds []*graph.Graph, maxPathLen int, opts Options, feats []ExportedFeature) (Index, error) {
+	if maxPathLen <= 0 {
+		maxPathLen = ftv.DefaultMaxPathLen
+	}
+	start := time.Now()
+	x := &Path{
+		ds:         ds,
+		maxPathLen: maxPathLen,
+		postings:   make(map[ftv.Key]MapPostings, len(feats)),
+		verifier:   make([]*vf2.Matcher, len(ds)),
+	}
+	for id := range ds {
+		x.verifier[id] = vf2.New(ds[id])
+	}
+	for _, f := range feats {
+		m := make(MapPostings, len(f.Postings))
+		for _, p := range f.Postings {
+			m[p.GraphID] = p.Count
+		}
+		x.postings[ftv.MakeKey(f.Labels)] = m
+	}
+	x.stats = Stats{
+		Name:         x.Name(),
+		Kind:         KindPath,
+		Graphs:       len(ds),
+		MaxPathLen:   maxPathLen,
+		Features:     len(x.postings),
+		Nodes:        len(x.postings),
+		BuildTime:    time.Since(start),
+		BuildWorkers: PoolWorkers(opts.Pool),
+	}
+	return x, nil
+}

@@ -214,10 +214,17 @@ func (st *Store) Epoch() uint64 { return st.epoch.Load() }
 // load-ref-recheck retry makes acquisition lock-free: if a mutation swaps
 // the snapshot between the load and the ref, the recheck fails, the stale
 // ref is dropped (harmlessly — the close is once-guarded) and the reader
-// retries on the fresh pointer.
+// retries on the fresh pointer. After Close, Current returns nil: Close
+// swaps the pointer to nil BEFORE dropping the store's reference, so a
+// reader can never ref-resurrect a snapshot whose release already ran
+// (refs 0→1 on a disposed snapshot would pass the recheck — the pointer
+// still matched — and hand out closed sub-indexes).
 func (st *Store) Current() *Snapshot {
 	for {
 		s := st.cur.Load()
+		if s == nil {
+			return nil
+		}
 		s.refs.Add(1)
 		if st.cur.Load() == s {
 			return s
@@ -431,8 +438,14 @@ func (st *Store) commitShard(shard int, fresh map[string]index.Index) {
 }
 
 // Close drops the store's reference to the current snapshot and rejects
-// further mutations. Snapshots already acquired stay valid until their
-// holders release them; sub-indexes close as the last references drain.
+// further mutations; Current returns nil from then on. Snapshots already
+// acquired stay valid until their holders release them; sub-indexes close
+// as the last references drain. The swap-to-nil must happen before the
+// release: a plain Load+Release would leave the pointer published, and a
+// concurrent Current could increment refs 0→1 on the just-disposed
+// snapshot, pass its recheck, and return sub-indexes that are already
+// closed (the double-close itself is once-guarded, but the use-after-close
+// is not).
 func (st *Store) Close() {
 	st.mutMu.Lock()
 	defer st.mutMu.Unlock()
@@ -440,7 +453,7 @@ func (st *Store) Close() {
 		return
 	}
 	st.closed = true
-	if s := st.cur.Load(); s != nil {
+	if s := st.cur.Swap(nil); s != nil {
 		s.Release()
 	}
 }

@@ -1,0 +1,377 @@
+package live_test
+
+// Persistence-facing tests: ExportState/Restore must reproduce a store that
+// is indistinguishable from the original — same epoch, same handles, same
+// answers — and must keep agreeing after further identical mutations (handle
+// and next-handle continuity). Plus the Current/Release/Close stress test:
+// under -race, concurrent snapshot acquisition against mutations and a
+// final Close must close every sub-index exactly once and never hand a
+// reader a disposed snapshot.
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/psi-graph/psi/internal/graph"
+	"github.com/psi-graph/psi/internal/index"
+	"github.com/psi-graph/psi/internal/live"
+)
+
+// roundTripGrid pushes every sub-index of the exported grid through the
+// snapshot codec contract — Export to flat features, Restore into a brand
+// new instance over the same shard dataset — standing in for the on-disk
+// write/read the snapshot package performs. Restoring into fresh instances
+// also keeps ownership disjoint: the original store keeps its subs, the
+// restored store adopts the copies.
+func roundTripGrid(t *testing.T, state live.State) live.State {
+	t.Helper()
+	locals := make([][]*graph.Graph, state.Shards)
+	for slot, g := range state.SlotGraphs {
+		locals[slot%state.Shards] = append(locals[slot%state.Shards], g)
+	}
+	grid := make(map[string][]index.Index, len(state.Grid))
+	for kind, subs := range state.Grid {
+		fresh := make([]index.Index, len(subs))
+		for s, sub := range subs {
+			feats, maxLen, err := index.Export(sub)
+			if err != nil {
+				t.Fatalf("export %s shard %d: %v", kind, s, err)
+			}
+			fresh[s], err = index.Restore(kind, locals[s], maxLen, index.Options{MaxPathLen: maxLen}, feats)
+			if err != nil {
+				t.Fatalf("restore %s shard %d: %v", kind, s, err)
+			}
+		}
+		grid[kind] = fresh
+	}
+	state.Grid = grid
+	return state
+}
+
+func sameHandles(a, b []live.Handle) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertStoresAgree compares the two stores' current snapshots: epoch,
+// handle vector, dataset, and per-kind answers over the probe queries.
+func assertStoresAgree(t *testing.T, a, b *live.Store, kinds []string) {
+	t.Helper()
+	sa, sb := a.Current(), b.Current()
+	defer sa.Release()
+	defer sb.Release()
+	if sa.Epoch() != sb.Epoch() {
+		t.Fatalf("epoch %d vs %d", sa.Epoch(), sb.Epoch())
+	}
+	if !sameHandles(sa.Handles(), sb.Handles()) {
+		t.Fatalf("handles %v vs %v", sa.Handles(), sb.Handles())
+	}
+	ga, gb := sa.Graphs(), sb.Graphs()
+	if len(ga) != len(gb) {
+		t.Fatalf("%d vs %d graphs", len(ga), len(gb))
+	}
+	for i := range ga {
+		if !ga[i].Equal(gb[i]) {
+			t.Fatalf("graph %d differs after restore", i)
+		}
+	}
+	for _, kind := range kinds {
+		xa, xb := sa.Index(kind), sb.Index(kind)
+		for qi, q := range testQueries() {
+			wa, err := index.Answer(context.Background(), xa, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb, err := index.Answer(context.Background(), xb, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameInts(wa, wb) {
+				t.Errorf("%s q%d: %v vs %v after restore", kind, qi, wa, wb)
+			}
+		}
+	}
+}
+
+// TestExportRestoreRoundTrip churns a store, exports its state, round-trips
+// every sub-index through the flat-feature codec, restores, and demands the
+// restored store match the original — then keeps mutating BOTH identically
+// and demands they stay in lockstep, which proves the restored store
+// preserved handle identity, the next-handle counter and tombstone
+// schedule, not just the visible dataset.
+func TestExportRestoreRoundTrip(t *testing.T) {
+	// Not index.Kinds(): that would pick up the close-counting test kinds
+	// registered by this package, which have no export support.
+	kinds := []string{index.KindPath, "grapes", "ggsx"}
+	r := rand.New(rand.NewSource(42))
+	ds := randomDataset(r, 6, 8, 2)
+	st, err := live.NewStore(context.Background(), ds, live.Options{
+		Kinds: kinds, Shards: 2, CompactEvery: 3,
+		Index: index.Options{MaxPathLen: testMaxPathLen},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Churn: leave live slots, tombstoned slots, and a replaced slot behind.
+	h, err := st.Add(context.Background(), randomDataset(r, 1, 8, 2)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Remove(context.Background(), live.Handle(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Replace(context.Background(), h, randomDataset(r, 1, 8, 2)[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	state, err := st.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Epoch != st.Epoch() {
+		t.Fatalf("exported epoch %d, store at %d", state.Epoch, st.Epoch())
+	}
+	if len(state.Tombs) != state.Shards {
+		t.Fatalf("%d tombstone counters for %d shards", len(state.Tombs), state.Shards)
+	}
+
+	restored, err := live.Restore(roundTripGrid(t, state), 3, index.Options{MaxPathLen: testMaxPathLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if restored.Shards() != st.Shards() {
+		t.Fatalf("restored Shards() = %d, want %d", restored.Shards(), st.Shards())
+	}
+	assertStoresAgree(t, st, restored, kinds)
+
+	// Lockstep continuation: identical mutations must yield identical
+	// handles, epochs, compaction points and answers on both stores.
+	for step := 0; step < 6; step++ {
+		g := randomDataset(r, 1, 8, 2)[0]
+		h1, err := st.Add(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := restored.Add(context.Background(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("step %d: original issued handle %d, restored %d", step, h1, h2)
+		}
+		if step%2 == 1 {
+			c1, err := st.Remove(context.Background(), h1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := restored.Remove(context.Background(), h1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c1 != c2 {
+				t.Fatalf("step %d: compaction diverged (%v vs %v)", step, c1, c2)
+			}
+		}
+		assertStoresAgree(t, st, restored, kinds)
+	}
+}
+
+// TestExportStateClosed: ExportState after Close must fail, not hand out a
+// grid of closed sub-indexes.
+func TestExportStateClosed(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	st, err := live.NewStore(context.Background(), randomDataset(r, 2, 6, 2), live.Options{
+		Kinds: []string{index.KindPath}, Index: index.Options{MaxPathLen: testMaxPathLen},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ExportState(); err != nil {
+		t.Fatalf("ExportState before close: %v", err)
+	}
+	st.Close()
+	if st.Current() != nil {
+		t.Fatal("Current() non-nil after Close")
+	}
+	if _, err := st.ExportState(); err == nil {
+		t.Fatal("ExportState after Close succeeded")
+	}
+}
+
+// TestRestoreValidation: every malformed State must be rejected before a
+// store is built.
+func TestRestoreValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	st, err := live.NewStore(context.Background(), randomDataset(r, 4, 6, 2), live.Options{
+		Kinds: []string{index.KindPath}, Shards: 2,
+		Index: index.Options{MaxPathLen: testMaxPathLen},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	good, err := st.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(s *live.State)
+		wantSub string
+	}{
+		{"zero shards", func(s *live.State) { s.Shards = 0 }, "shard count"},
+		{"no kinds", func(s *live.State) { s.Kinds = nil }, "no index kinds"},
+		{"alive length", func(s *live.State) { s.Alive = s.Alive[:1] }, "slot arrays"},
+		{"handles length", func(s *live.State) { s.Handles = s.Handles[:1] }, "slot arrays"},
+		{"tombs length", func(s *live.State) { s.Tombs = nil }, "tombstone counters"},
+		{"grid shards", func(s *live.State) {
+			s.Grid = map[string][]index.Index{index.KindPath: s.Grid[index.KindPath][:1]}
+		}, "sub-indexes"},
+		{"zero handle", func(s *live.State) {
+			s.Handles = append([]live.Handle(nil), s.Handles...)
+			s.Handles[0] = 0
+		}, "non-positive handle"},
+		{"reissued handle", func(s *live.State) { s.NextHandle = s.Handles[len(s.Handles)-1] }, "would reissue"},
+		{"duplicate handle", func(s *live.State) {
+			s.Handles = append([]live.Handle(nil), s.Handles...)
+			s.Handles[1] = s.Handles[3]
+		}, "owned by slots"},
+		{"zero epoch", func(s *live.State) { s.Epoch = 0 }, "epoch"},
+	}
+	for _, tc := range cases {
+		s := good
+		tc.mutate(&s)
+		if _, err := live.Restore(s, 0, index.Options{MaxPathLen: testMaxPathLen}); err == nil {
+			t.Errorf("%s: Restore succeeded", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+
+	// Duplicate-handle on DEAD slots is legal (placeholders share nothing);
+	// a dead slot only needs a historically valid handle.
+	if _, err := live.Restore(good, 0, index.Options{MaxPathLen: testMaxPathLen}); err != nil {
+		t.Fatalf("unmodified state failed to restore: %v", err)
+	}
+
+	// Sub-index over the wrong shard dataset size.
+	bad := good
+	wrong, err := index.Build(context.Background(), index.KindPath, nil, index.Options{MaxPathLen: testMaxPathLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrong.Close()
+	bad.Grid = map[string][]index.Index{index.KindPath: {wrong, good.Grid[index.KindPath][1]}}
+	if _, err := live.Restore(bad, 0, index.Options{MaxPathLen: testMaxPathLen}); err == nil {
+		t.Error("Restore accepted sub-index with wrong dataset size")
+	} else if !strings.Contains(err.Error(), "shard holds") {
+		t.Errorf("wrong-size error: %v", err)
+	}
+}
+
+// The stress test reuses live_test.go's closeCounting wrapper under a
+// second registered kind whose builder also counts builds, so the end state
+// can assert builds == closes exactly.
+var (
+	stressCloses atomic.Int64
+	stressBuilds atomic.Int64
+	stressOnce   sync.Once
+)
+
+const stressKind = "test-stress-counting"
+
+func registerStressKind() {
+	stressOnce.Do(func() {
+		index.Register(stressKind, func(ctx context.Context, ds []*graph.Graph, opts index.Options) (index.Index, error) {
+			x, err := index.BuildPath(ctx, ds, opts)
+			if err != nil {
+				return nil, err
+			}
+			stressBuilds.Add(1)
+			return closeCounting{inner: x, closes: &stressCloses}, nil
+		})
+	})
+}
+
+// TestCurrentReleaseCloseStress is the satellite-3 regression test: N
+// readers hammer Current/Release while a mutator churns Add/Remove and then
+// Closes the store mid-flight. Under -race this exercises the
+// load-ref-recheck retry and the Close swap-to-nil ordering; afterwards
+// every sub-index ever built must have been closed exactly once — a
+// double-close or a leak both fail the counter check.
+func TestCurrentReleaseCloseStress(t *testing.T) {
+	registerStressKind()
+	for round := 0; round < 3; round++ {
+		builds0, closes0 := stressBuilds.Load(), stressCloses.Load()
+		r := rand.New(rand.NewSource(int64(round)))
+		st, err := live.NewStore(context.Background(), randomDataset(r, 4, 6, 2), live.Options{
+			Kinds: []string{stressKind}, Shards: 2, CompactEvery: 2,
+			Index: index.Options{MaxPathLen: testMaxPathLen},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		q := pathQuery(0, 0, 1)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					snap := st.Current()
+					if snap == nil {
+						// Store closed underneath us: done. Seeing nil and
+						// never a disposed snapshot IS the property.
+						select {
+						case <-stop:
+							return
+						default:
+							continue
+						}
+					}
+					snap.Index(stressKind).Filter(q)
+					snap.Release()
+				}
+			}()
+		}
+		var handles []live.Handle
+		for step := 0; step < 30; step++ {
+			if len(handles) == 0 || r.Intn(2) == 0 {
+				h, err := st.Add(context.Background(), randomDataset(r, 1, 6, 2)[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles, h)
+			} else {
+				i := r.Intn(len(handles))
+				if _, err := st.Remove(context.Background(), handles[i]); err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles[:i], handles[i+1:]...)
+			}
+		}
+		st.Close()
+		close(stop)
+		wg.Wait()
+		st.Close() // idempotent
+		if builds, closes := stressBuilds.Load()-builds0, stressCloses.Load()-closes0; builds != closes {
+			t.Fatalf("round %d: %d sub-indexes built, %d closed", round, builds, closes)
+		}
+	}
+}

@@ -69,15 +69,46 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
 }
 
+// maxLimit is the largest ?limit a request may carry: ten times the
+// server's configured default (or the 1000 fallback). Anything above is a
+// client error — a typo or an abuse probe, not a workload — and is rejected
+// up front rather than silently clamped or allowed to size allocations.
+func (s *Server) maxLimit() int {
+	n := s.opts.DefaultLimit
+	if n < 1000 {
+		n = 1000
+	}
+	return 10 * n
+}
+
+// maxTimeout is the largest ?timeout_ms a request may carry: ten times the
+// server's request timeout when one is configured (the client may shorten a
+// deadline, so there is no reason to ask for multiples of it), otherwise an
+// absolute 24h ceiling that keeps the deadline arithmetic far from
+// time.Duration overflow.
+func (s *Server) maxTimeout() time.Duration {
+	if s.opts.RequestTimeout > 0 {
+		return 10 * s.opts.RequestTimeout
+	}
+	return 24 * time.Hour
+}
+
 // parseQueryRequest decodes the envelope and the query graph (request body,
-// module text format, exactly one graph).
+// module text format, exactly one graph). Out-of-range envelope values —
+// negative, or absurdly past the server's configured caps — are 400s, never
+// silently clamped: an int that big means the client computed it wrong, and
+// honoring part of it would turn the mistake into undefined behavior
+// (a limit-sized allocation, an overflowed deadline).
 func (s *Server) parseQueryRequest(r *http.Request) (queryRequest, *psi.Graph, int, error) {
 	req := queryRequest{limit: s.opts.DefaultLimit, cache: true}
 	qp := r.URL.Query()
 	if v := qp.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil {
-			return req, nil, http.StatusBadRequest, fmt.Errorf("bad limit %q", v)
+		if err != nil || n < 0 {
+			return req, nil, http.StatusBadRequest, fmt.Errorf("bad limit %q (want an integer in [0,%d]; 0 means decision)", v, s.maxLimit())
+		}
+		if n > s.maxLimit() {
+			return req, nil, http.StatusBadRequest, fmt.Errorf("limit %d exceeds the maximum %d", n, s.maxLimit())
 		}
 		req.limit = n
 	}
@@ -88,7 +119,10 @@ func (s *Server) parseQueryRequest(r *http.Request) (queryRequest, *psi.Graph, i
 	if v := qp.Get("timeout_ms"); v != "" {
 		ms, err := strconv.Atoi(v)
 		if err != nil || ms < 0 {
-			return req, nil, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q", v)
+			return req, nil, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q (want an integer in [0,%d])", v, s.maxTimeout().Milliseconds())
+		}
+		if int64(ms) > s.maxTimeout().Milliseconds() {
+			return req, nil, http.StatusBadRequest, fmt.Errorf("timeout_ms %d exceeds the maximum %d", ms, s.maxTimeout().Milliseconds())
 		}
 		req.timeout = time.Duration(ms) * time.Millisecond
 	}
@@ -137,12 +171,7 @@ func (s *Server) cacheKey(eng *psi.Engine, q *psi.Graph, limit int) string {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	release, status := s.admit()
 	if status != 0 {
-		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-			writeJSONError(w, status, fmt.Sprintf("server at capacity (%d in flight)", s.lim.Cap()))
-		} else {
-			writeJSONError(w, status, "server is draining")
-		}
+		s.writeOverloaded(w, status)
 		return
 	}
 	defer release()

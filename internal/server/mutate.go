@@ -42,12 +42,7 @@ type MutateResponse struct {
 func (s *Server) admitMutation(w http.ResponseWriter) (eng *psi.Engine, release func()) {
 	release, status := s.admit()
 	if status != 0 {
-		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-			writeJSONError(w, status, fmt.Sprintf("server at capacity (%d in flight)", s.lim.Cap()))
-		} else {
-			writeJSONError(w, status, "server is draining")
-		}
+		s.writeOverloaded(w, status)
 		return nil, nil
 	}
 	eng = s.engine()

@@ -63,7 +63,9 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,6 +98,10 @@ type Options struct {
 	// way: a caller that refuses a cached answer wants a fresh execution,
 	// not someone else's.
 	NoCoalesce bool
+	// SnapshotPath, when set, arms POST /snapshot: each call persists the
+	// engine's full state to this path (atomically, via the snapshot
+	// package's temp-file-plus-rename). Empty disables the endpoint (409).
+	SnapshotPath string
 }
 
 // Server serves queries over one long-lived Engine. Construct with New —
@@ -130,6 +136,12 @@ type Server struct {
 	admitted    atomic.Int64
 	rejected    atomic.Int64
 	unavailable atomic.Int64
+
+	// requestEWMA tracks a smoothed admitted-request duration in
+	// nanoseconds: the observed time for an in-flight slot to drain, which
+	// is what a 429's Retry-After should promise instead of a hardcoded
+	// guess.
+	requestEWMA atomic.Int64
 
 	// coalesced counts requests answered from another request's in-flight
 	// execution; coalescedFallbacks counts followers whose flight finished
@@ -188,6 +200,7 @@ func NewBuilding(opts Options) *Server {
 	s.mux.HandleFunc("POST /graphs", s.handleAddGraphs)
 	s.mux.HandleFunc("DELETE /graphs/{handle}", s.handleRemoveGraph)
 	s.mux.HandleFunc("PUT /graphs/{handle}", s.handleReplaceGraph)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -233,13 +246,62 @@ func (s *Server) admit() (release func(), status int) {
 	}
 	s.inflight.Add(1)
 	s.admitted.Add(1)
+	start := time.Now()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
+			s.observeRequest(time.Since(start))
 			s.lim.Release()
 			s.inflight.Done()
 		})
 	}, 0
+}
+
+// maxRetryAfterSeconds caps the 429 Retry-After hint: past this, a client
+// should be polling /healthz, not sleeping on our estimate.
+const maxRetryAfterSeconds = 30
+
+// observeRequest folds one admitted request's wall time into the drain-time
+// estimate (EWMA, alpha 1/5), lock-free.
+func (s *Server) observeRequest(d time.Duration) {
+	for {
+		old := s.requestEWMA.Load()
+		nw := int64(d)
+		if old != 0 {
+			nw = old + (int64(d)-old)/5
+		}
+		if s.requestEWMA.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds turns the observed drain time into the whole-second
+// Retry-After a 429 carries: at capacity, a slot frees roughly one smoothed
+// request duration from now. At least 1 (the header's useful floor, and the
+// cold-start default before any request has completed), at most
+// maxRetryAfterSeconds.
+func (s *Server) retryAfterSeconds() int {
+	secs := (s.requestEWMA.Load() + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	return int(secs)
+}
+
+// writeOverloaded writes the shared admission-rejection response for both
+// query and mutation handlers: 429 with a derived Retry-After at capacity,
+// 503 while draining.
+func (s *Server) writeOverloaded(w http.ResponseWriter, status int) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSONError(w, status, fmt.Sprintf("server at capacity (%d in flight)", s.lim.Cap()))
+		return
+	}
+	writeJSONError(w, status, "server is draining")
 }
 
 // Shutdown drains the server: admission stops immediately (new queries get

@@ -266,7 +266,7 @@ func TestClientDisconnectCancelsQuery(t *testing.T) {
 	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		ts.URL+"/query?stream=1&limit=1000000", bytes.NewReader(graphText(t, q)))
+		ts.URL+"/query?stream=1&limit=10000", bytes.NewReader(graphText(t, q)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +353,7 @@ func TestGracefulDrain(t *testing.T) {
 // returns the deadline error, and the straggler still gets a response.
 func TestDrainDeadlineCancelsStragglers(t *testing.T) {
 	eng, q := slowFixture(t)
-	srv := New(eng, Options{CacheSize: -1})
+	srv := New(eng, Options{CacheSize: -1, DefaultLimit: 1_000_000})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -383,7 +383,7 @@ func TestDrainDeadlineCancelsStragglers(t *testing.T) {
 // hanging Shutdown forever on a client that walked away without closing.
 func TestSlowReaderCannotStallDrain(t *testing.T) {
 	eng, q := slowFixture(t)
-	srv := New(eng, Options{CacheSize: -1})
+	srv := New(eng, Options{CacheSize: -1, DefaultLimit: 1_000_000})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -511,7 +511,9 @@ func TestStatsAndMetrics(t *testing.T) {
 // and killed results are not cached.
 func TestPerRequestTimeoutMapsToKill(t *testing.T) {
 	eng, q := slowFixture(t)
-	srv := New(eng, Options{CacheSize: 8})
+	// A DefaultLimit this high raises the request-limit cap so the huge
+	// ?limit below is admitted rather than rejected as absurd.
+	srv := New(eng, Options{CacheSize: 8, DefaultLimit: 1_000_000})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -527,7 +529,7 @@ func TestPerRequestTimeoutMapsToKill(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer beng.Close()
-	bsrv := New(beng, Options{CacheSize: 8})
+	bsrv := New(beng, Options{CacheSize: 8, DefaultLimit: 1_000_000})
 	bts := httptest.NewServer(bsrv)
 	defer bts.Close()
 	resp, data = postQuery(t, bts.URL+"/query?limit=10000000", graphText(t, q))

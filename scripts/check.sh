@@ -56,13 +56,13 @@ echo "== policy smoke =="
 # enforced end to end.
 go run ./cmd/psibench -policysweep -scale=tiny -queries 4 -dur 150ms > /dev/null
 
-echo "== coverage gate (internal/index, internal/rewrite, internal/predict, internal/metrics, internal/live) =="
+echo "== coverage gate (internal/index, internal/rewrite, internal/predict, internal/metrics, internal/live, internal/snapshot) =="
 # Per-package coverage for the packages this repo's correctness arguments
 # lean on hardest (the filtering/sharding contract, the rewriting
 # round-trip, the learned planning policy's evidence rules, the
-# operational counters, and the epoch-versioned mutation store);
-# regressing below the floor fails the gate.
-cov_out=$(go test -cover ./internal/index ./internal/rewrite ./internal/predict ./internal/metrics ./internal/live)
+# operational counters, the epoch-versioned mutation store, and the
+# persistent snapshot format); regressing below the floor fails the gate.
+cov_out=$(go test -cover ./internal/index ./internal/rewrite ./internal/predict ./internal/metrics ./internal/live ./internal/snapshot)
 echo "$cov_out"
 echo "$cov_out" | awk '
     /coverage:/ {
@@ -83,9 +83,10 @@ echo "== serve smoke =="
 tmpdir=$(mktemp -d)
 serve_pid=""
 mserve_pid=""
-# `|| true` twice over: under set -e a failing command at the end of the
+sserve_pid=""
+# `|| true` on each clause: under set -e a failing command at the end of the
 # trap's AND-list would override the script's real exit status.
-trap '{ [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true; } ; { [ -n "$mserve_pid" ] && kill "$mserve_pid" 2>/dev/null || true; } ; rm -rf "$tmpdir" || true' EXIT
+trap '{ [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true; } ; { [ -n "$mserve_pid" ] && kill "$mserve_pid" 2>/dev/null || true; } ; { [ -n "$sserve_pid" ] && kill "$sserve_pid" 2>/dev/null || true; } ; rm -rf "$tmpdir" || true' EXIT
 go build -o "$tmpdir/psiserve" ./cmd/psiserve
 go run ./cmd/psigen -dataset ppi -scale tiny -seed 1 \
     -out "$tmpdir/ds.txt" -queries 1 -sizes 4 -qout "$tmpdir/q.txt"
@@ -121,6 +122,46 @@ grep -q "drained cleanly" "$tmpdir/serve.log" || {
     cat "$tmpdir/serve.log" >&2
     exit 1
 }
+
+echo "== snapshot smoke (save, corrupt, cold-start parity) =="
+# The coldstart bench exits non-zero if the cold-started engine's answers
+# diverge from the fresh build or the load is not at least 10x faster, and
+# leaves the snapshot on disk for the rest of the stage. Then the fail-closed
+# guarantee: flip one byte in the middle of the file and the load must be
+# refused with a checksum error, never served from a corrupt state. Finally a
+# clean cold-start through the real binary: psiserve -snapshot with no
+# -data/-gen must come up from the file alone and answer a query.
+go run ./cmd/psibench -coldstart -scale=tiny -queries 4 -snapfile "$tmpdir/cs.psisnap" > /dev/null
+cp "$tmpdir/cs.psisnap" "$tmpdir/corrupt.psisnap"
+size=$(wc -c < "$tmpdir/corrupt.psisnap")
+printf '\xff' | dd of="$tmpdir/corrupt.psisnap" bs=1 seek=$((size / 2)) conv=notrunc 2> /dev/null
+if corrupt_log=$("$tmpdir/psiserve" -snapshot "$tmpdir/corrupt.psisnap" -addr 127.0.0.1:0 2>&1); then
+    echo "snapshot smoke: corrupt snapshot was accepted" >&2
+    exit 1
+fi
+echo "$corrupt_log" | grep -qi "checksum" || {
+    echo "snapshot smoke: corrupt-load error does not mention the checksum: $corrupt_log" >&2
+    exit 1
+}
+"$tmpdir/psiserve" -snapshot "$tmpdir/cs.psisnap" \
+    -addr 127.0.0.1:0 -portfile "$tmpdir/sport" 2> "$tmpdir/sserve.log" &
+sserve_pid=$!
+for _ in $(seq 100); do [ -s "$tmpdir/sport" ] && break; sleep 0.1; done
+sport=$(cat "$tmpdir/sport")
+snap_ans=$(curl -sf -X POST --data-binary @"$tmpdir/q.txt" \
+    "http://127.0.0.1:$sport/query?cache=0")
+echo "$snap_ans" | grep -q '"graph_ids"' || {
+    echo "snapshot smoke: cold-started server gave no answer: $snap_ans" >&2
+    cat "$tmpdir/sserve.log" >&2
+    exit 1
+}
+kill -TERM "$sserve_pid"
+if ! wait "$sserve_pid"; then
+    echo "snapshot smoke: cold-started psiserve did not exit 0 on SIGTERM" >&2
+    cat "$tmpdir/sserve.log" >&2
+    exit 1
+fi
+sserve_pid=""
 
 echo "== churn smoke (mutable engine, race-enabled binary) =="
 # First the churn bench, which exits non-zero if the churned engine's
